@@ -1,0 +1,67 @@
+"""Paper Figure 6: DeepMapping storage breakdown per TPC-H table.
+
+For each table: the percentage of the hybrid structure taken by the
+existence vector / model / auxiliary table, plus the share of tuples the
+model memorizes vs. those parked in T_aux.
+
+Expected shape (paper, SF=1): the auxiliary table holds the bulk of the
+bytes (75–98%), the model is small, yet it memorizes the majority of
+tuples (55–88%) — the observation that justifies optimizing the *total*
+hybrid size instead of forcing a perfect model.
+"""
+
+import pytest
+
+from repro.bench import format_table, key_batches
+from repro.bench.runner import build_system
+from repro.data import tpch
+
+from conftest import dm_config, write_report
+
+# Long training with a wider net, mirroring the paper's train-to-
+# convergence regime: the memorized-tuple share is the figure's headline.
+# (At 1/100 scale the model's fixed bytes amortize worse than at SF=1/10,
+# so the model% of storage runs higher than the paper's — EXPERIMENTS.md
+# discusses the deviation.)
+CFG = dict(epochs=200, batch_size=128, shared_sizes=(128,),
+           private_sizes=(64,), tol=1e-6)
+
+
+def test_fig6_storage_breakdown(benchmark):
+    rows = []
+    mappings = {}
+    for name in tpch.TPCH_TABLES:
+        table = tpch.generate(name, scale=0.25, seed=6)
+        dm = build_system("DM-Z", table, dm_config=dm_config("low", **CFG),
+                          partition_bytes=16 * 1024)
+        mappings[name] = (dm, table)
+        report = dm.size_report()
+        pct = report.breakdown()
+        rows.append([
+            name,
+            pct["exist_vector"],
+            pct["model"],
+            pct["aux_table"],
+            100.0 * report.memorized_fraction,
+            100.0 * (1 - report.memorized_fraction),
+            report.total_bytes / 1024.0,
+        ])
+    report_text = format_table(
+        ["table", "exist %", "model %", "aux %", "memorized %",
+         "in aux %", "total KB"],
+        rows,
+        title="Figure 6: DeepMapping storage breakdown (TPC-H, scaled)",
+    )
+    write_report("fig6_storage_breakdown", report_text)
+
+    by_table = {r[0]: r for r in rows}
+    # Paper shape: the auxiliary table takes a large share of the bytes on
+    # the noisiest fact table, yet the model memorizes a majority of
+    # tuples on the structured ones.
+    assert by_table["lineitem"][3] > 25.0          # aux carries real weight
+    assert any(r[4] > 50.0 for r in rows)          # >50% memorized somewhere
+    assert all(r[1] < 20.0 for r in rows)          # V_exist stays small
+
+    dm, table = mappings["orders"]
+    batch = key_batches(table, 1000, repeats=1)[0]
+    benchmark.pedantic(lambda: dm.lookup(batch), rounds=3, iterations=1)

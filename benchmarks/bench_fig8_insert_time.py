@@ -1,0 +1,84 @@
+"""Paper Figure 8: average insertion time per tuple vs. batch size.
+
+Inserts batches of varying size into the multi-column low-correlation
+dataset (the paper's Fig. 8 workload) and reports mean microseconds per
+inserted tuple for each representation.
+
+Expected shape (paper): DeepMapping inserts fastest (model evaluation +
+overlay append, no recompression); array stores pay partition re/compress;
+hash stores pay partition rewrite per touched bucket and are slowest.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.bench.runner import build_system
+from repro.data import synthetic
+
+from conftest import dm_config, write_report
+
+BASE_ROWS = 6_000
+BATCH_SIZES = [1, 10, 100, 1000]
+SYSTEMS = ["AB", "ABC-Z", "HB", "HBC-Z", "DM-Z"]
+
+
+def _fresh(name, base):
+    if name == "DM-Z":
+        return build_system("DM-Z", base,
+                            dm_config=dm_config("low",
+                                                key_headroom_fraction=2.0))
+    return build_system(name, base, partition_bytes=16 * 1024)
+
+
+def _insert_once(system, name, batch):
+    if name in ("AB", "ABC-Z"):
+        system.append_partition(batch)
+    else:
+        system.insert(batch)
+
+
+def test_fig8_insert_time(benchmark):
+    base = synthetic.multi_column(BASE_ROWS, "low")
+    rows = []
+    per_tuple_us = {}
+    for name in SYSTEMS:
+        row = [name]
+        series = []
+        start_key = int(base.column("key").max()) + 1
+        system = _fresh(name, base)
+        for batch_size in BATCH_SIZES:
+            batch = synthetic.multi_column(batch_size, "low", seed=88,
+                                           start_key=start_key)
+            start_key += batch_size
+            t0 = time.perf_counter()
+            _insert_once(system, name, batch)
+            elapsed = time.perf_counter() - t0
+            micro = elapsed / batch_size * 1e6
+            row.append(micro)
+            series.append(micro)
+        rows.append(row)
+        per_tuple_us[name] = series
+    report = format_table(
+        ["system"] + [f"batch={b} (us/tuple)" for b in BATCH_SIZES],
+        rows,
+        title="Figure 8: average insertion time per tuple",
+    )
+    write_report("fig8_insert_time", report)
+
+    # Paper shape: at large batches DeepMapping inserts are cheaper per
+    # tuple than the hash stores, which rewrite partitions.
+    assert per_tuple_us["DM-Z"][-1] < per_tuple_us["HB"][-1]
+    assert per_tuple_us["DM-Z"][-1] < per_tuple_us["HBC-Z"][-1]
+
+    dm = _fresh("DM-Z", base)
+    batch = synthetic.multi_column(500, "low", seed=99,
+                                   start_key=10 * BASE_ROWS)
+
+    def insert_and_rollback():
+        dm.insert(batch)
+        dm.delete({"key": batch.column("key")})
+
+    benchmark.pedantic(insert_and_rollback, rounds=3, iterations=1)

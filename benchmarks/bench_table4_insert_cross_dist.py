@@ -1,0 +1,53 @@
+"""Paper Table IV: inserts that do NOT follow the base distribution.
+
+High-correlation rows are inserted into the low-correlation dataset and
+vice versa.  Expected shape (paper): a DM trained on low-correlation data
+is robust to high-correlation inserts (storage grows more slowly than in
+Table III); inserting low-correlation rows into the high-correlation
+structure bloats the auxiliary table faster, and the DM-Z1 retrain
+recovers the compression ratio.
+"""
+
+import pytest
+
+from bench_table3_insert_same_dist import STEP_ROWS, run_insert_experiment
+from repro.data import synthetic
+
+from conftest import dm_config
+from repro.bench.runner import build_system
+
+
+@pytest.mark.parametrize("correlation,insert_correlation", [
+    ("low", "high"),
+    ("high", "low"),
+])
+def test_table4(benchmark, correlation, insert_correlation):
+    data = run_insert_experiment(
+        correlation, insert_correlation,
+        title=(f"Table IV [base={correlation}-correlation, inserts="
+               f"{insert_correlation}-correlation]"),
+        report_name=f"table4_{correlation}_base",
+    )
+    dm = data[("DM-Z", "storage (KB)")]
+    dm1 = data[("DM-Z1", "storage (KB)")]
+    # Paper shape: the retraining variant stays in the lazy variant's
+    # ballpark (at full scale it ends smaller; at 1/100 scale a retrain on
+    # noise-contaminated data costs a little base memorization even with
+    # warm-started training — see EXPERIMENTS.md).
+    assert dm1[-1] <= dm[-1] * 1.25
+    if correlation == "high":
+        # Cross-distribution inserts into the high-correlation structure
+        # grow its auxiliary table visibly (the paper's Table IV remark).
+        assert dm[-1] > dm[0]
+
+    base = synthetic.multi_column(2000, correlation)
+    dm_sys = build_system(
+        "DM-Z", base,
+        dm_config=dm_config(correlation, key_headroom_fraction=1.0))
+    batch = synthetic.insert_batch(base, STEP_ROWS, insert_correlation)
+
+    def insert_once():
+        dm_sys.insert(batch)
+        dm_sys.delete({"key": batch.column("key")})
+
+    benchmark.pedantic(insert_once, rounds=3, iterations=1)

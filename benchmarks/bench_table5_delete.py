@@ -1,0 +1,89 @@
+"""Paper Table V: storage and latency after deleting growing fractions.
+
+Rows are deleted from the synthetic multi-column datasets in steps of 10%.
+DM-Z only clears existence bits (plus auxiliary rows); DM-Z1 additionally
+retrains after 20% is gone.
+
+Expected shape (paper): DM storage shrinks (auxiliary rows leave) and
+stays below the compressed array baselines; query latency drops a little
+as the auxiliary table thins; hash stores remain the slowest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, key_batches, measure_lookup
+from repro.bench.runner import build_system, storage_of
+from repro.data import synthetic
+
+from conftest import dm_config, write_report
+
+BASE_ROWS = 8_000
+STEPS = 6
+STEP_ROWS = BASE_ROWS // 10
+BATCH = 2000
+SYSTEMS = ["DM-Z", "DM-Z1", "AB", "ABC-Z", "HB", "HBC-Z"]
+
+
+def _build(name, table, correlation):
+    if name in ("DM-Z", "DM-Z1"):
+        threshold = table.uncompressed_bytes() // 5 if name == "DM-Z1" else None
+        config = dm_config(correlation,
+                           retrain_threshold_bytes=threshold)
+        return build_system("DM-Z", table, dm_config=config)
+    return build_system(name, table, partition_bytes=16 * 1024)
+
+
+@pytest.mark.parametrize("correlation", ["low", "high"])
+def test_table5(benchmark, correlation):
+    base = synthetic.multi_column(BASE_ROWS, correlation)
+    rng = np.random.default_rng(5)
+    order = rng.permutation(base.n_rows)
+    victim_steps = [
+        base.column("key")[order[i * STEP_ROWS: (i + 1) * STEP_ROWS]]
+        for i in range(STEPS)
+    ]
+
+    headers = ["system", "metric"] + [f"-{i * 10}%" for i in range(STEPS + 1)]
+    rows = []
+    for name in SYSTEMS:
+        system = _build(name, base, correlation)
+        survivors = base
+        storage_row = [name, "storage (KB)", storage_of(system) / 1024.0]
+        query = key_batches(survivors, BATCH, repeats=2, seed=3)
+        latency_row = [name, "query (ms)",
+                       measure_lookup(system, query) * 1000.0]
+        deleted = np.empty(0, dtype=np.int64)
+        for victims in victim_steps:
+            system.delete({"key": victims})
+            deleted = np.concatenate([deleted, victims])
+            keep = ~np.isin(base.column("key"), deleted)
+            survivors = base.take(np.flatnonzero(keep))
+            storage_row.append(storage_of(system) / 1024.0)
+            query = key_batches(survivors, BATCH, repeats=2, seed=3)
+            latency_row.append(measure_lookup(system, query) * 1000.0)
+        rows.append(storage_row)
+        rows.append(latency_row)
+
+    report = format_table(
+        headers, rows,
+        title=f"Table V [multi-column, {correlation} correlation, deletes]",
+    )
+    write_report(f"table5_{correlation}", report)
+
+    data = {(r[0], r[1]): r[2:] for r in rows}
+    dm = data[("DM-Z", "storage (KB)")]
+    # Paper shape: DM storage is monotonically non-increasing under deletes
+    # (tolerating the small serialized-overlay bookkeeping overhead).
+    assert dm[-1] <= dm[0] + 2.0
+    # And stays below the uncompressed array at every step.
+    ab = data[("AB", "storage (KB)")]
+    assert all(d < a for d, a in zip(dm, ab))
+
+    dm_sys = _build("DM-Z", base, correlation)
+    victims = {"key": victim_steps[0]}
+
+    def delete_once():
+        dm_sys.delete(victims)
+
+    benchmark.pedantic(delete_once, rounds=3, iterations=1)

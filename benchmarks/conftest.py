@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark prints (and writes under ``benchmarks/results/``) the rows
+or series of the corresponding paper table/figure, at laptop scale.  The
+pytest-benchmark fixture times each experiment's core DeepMapping
+operation; the printed reports carry the full cross-system comparison.
+"""
+
+import os
+
+import pytest
+
+from repro.core import DeepMappingConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a paper-style report and persist it under benchmarks/results."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+
+
+def dm_config(correlation: str = "low", **overrides) -> DeepMappingConfig:
+    """Benchmark DeepMapping configs.
+
+    High-correlation data earns long training (the model memorizes nearly
+    everything, paper Sec. V-B); low-correlation data converges to "mostly
+    auxiliary" quickly, so training is kept short.
+    """
+    defaults = dict(
+        epochs=150 if correlation == "high" else 30,
+        batch_size=1024,
+        shared_sizes=(64,),
+        private_sizes=(32,),
+        learning_rate=0.003,
+        aux_partition_bytes=32 * 1024,
+    )
+    defaults.update(overrides)
+    return DeepMappingConfig(**defaults)
+
+
+def cd_config(**overrides) -> DeepMappingConfig:
+    """Config for TPC-DS customer_demographics: the cross-product table is
+    fully learnable once the key encoding exposes residues modulo the
+    dimension radices (the multi-base extension; see KeyEncoder)."""
+    defaults = dict(
+        key_base=(10, 7, 4),
+        epochs=250,
+        batch_size=256,
+        shared_sizes=(48,),
+        private_sizes=(24,),
+        learning_rate=0.003,
+        tol=1e-6,
+        aux_partition_bytes=32 * 1024,
+    )
+    defaults.update(overrides)
+    return DeepMappingConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

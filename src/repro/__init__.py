@@ -1,0 +1,58 @@
+"""DeepMapping reproduction: learned data mapping for lossless compression
+and efficient lookup (Zhou, Candan, Zou — ICDE 2024).
+
+Public API highlights
+---------------------
+- :class:`repro.DeepMapping` / :class:`repro.DeepMappingConfig` — the
+  hybrid learned structure (model + auxiliary table + existence bit vector
+  + decode map) and its build knobs.
+- :mod:`repro.core.mhas` — multi-task hybrid architecture search.
+- :mod:`repro.baselines` — AB/ABC-*, HB/HBC-*, DeepSqueeze comparators.
+- :mod:`repro.data` — TPC-H / TPC-DS / synthetic / crop dataset generators.
+- :mod:`repro.bench` — workload generation and latency/size measurement.
+- :mod:`repro.nn` / :mod:`repro.storage` — the numpy neural-network and
+  storage substrates everything is built on.
+
+Quickstart
+----------
+>>> from repro import DeepMapping, DeepMappingConfig
+>>> from repro.data import tpch
+>>> orders = tpch.generate("orders", scale=0.1)
+>>> dm = DeepMapping.fit(orders, DeepMappingConfig(epochs=40))
+>>> dm.lookup_one(o_orderkey=1)["o_orderstatus"]   # doctest: +SKIP
+'F'
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, bench, core, data, nn, storage
+from .core import (
+    DeepMapping,
+    DeepMappingConfig,
+    LookupResult,
+    MultiKeyDeepMapping,
+    MultiRelationDeepMapping,
+    SizeReport,
+    build_range_view,
+    lookup_range,
+)
+from .data import ColumnTable
+
+__all__ = [
+    "__version__",
+    "DeepMapping",
+    "DeepMappingConfig",
+    "LookupResult",
+    "SizeReport",
+    "MultiKeyDeepMapping",
+    "MultiRelationDeepMapping",
+    "lookup_range",
+    "build_range_view",
+    "ColumnTable",
+    "baselines",
+    "bench",
+    "core",
+    "data",
+    "nn",
+    "storage",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness: workloads, measurement, reporting."""
+
+from .report import (
+    format_breakdown,
+    format_series,
+    format_storage_latency_table,
+    format_table,
+    running_average,
+)
+from .runner import (
+    DM_VARIANTS,
+    SystemResult,
+    build_system,
+    dm_with_codec,
+    measure_lookup,
+    run_comparison,
+    storage_of,
+)
+from .workload import delete_batch, key_batches, random_key_batch
+
+__all__ = [
+    "random_key_batch",
+    "key_batches",
+    "delete_batch",
+    "SystemResult",
+    "build_system",
+    "dm_with_codec",
+    "measure_lookup",
+    "run_comparison",
+    "storage_of",
+    "DM_VARIANTS",
+    "format_table",
+    "format_storage_latency_table",
+    "format_breakdown",
+    "format_series",
+    "running_average",
+]

@@ -1,0 +1,118 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, in aligned plain text (the environment has no plotting
+stack, so figures become value series).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_storage_latency_table",
+    "format_breakdown",
+    "format_series",
+    "running_average",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Align a list of rows under headers."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "failed"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_storage_latency_table(
+    results,
+    batch_sizes: Sequence[int],
+    title: str,
+    include_peak: bool = True,
+) -> str:
+    """The paper's Table I/II row shape: storage + latency per batch size,
+    plus the run-time pool footprint (the paper's memory desideratum)."""
+    headers = ["system", "storage (KB)"] + [
+        f"B={b} (ms)" for b in batch_sizes
+    ]
+    if include_peak:
+        headers.append("peak pool (KB)")
+    rows = []
+    for result in results:
+        row: List[object] = [result.system, result.storage_bytes / 1024.0]
+        for b in batch_sizes:
+            row.append(result.latency_ms(b))
+        if include_peak:
+            row.append(getattr(result, "peak_pool_bytes", 0) / 1024.0)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown(
+    label: str,
+    breakdown: Dict[str, float],
+    buckets: Sequence[str] = (
+        "existence", "inference", "locate", "search",
+        "io", "decompress", "deserialize", "decode",
+    ),
+) -> str:
+    """One Figure 7-style stacked row: seconds per timing bucket."""
+    parts = [f"{label}:"]
+    total = sum(breakdown.get(f"{b}_seconds", 0.0) for b in buckets)
+    for bucket in buckets:
+        seconds = breakdown.get(f"{bucket}_seconds", 0.0)
+        if seconds > 0:
+            share = 100.0 * seconds / total if total else 0.0
+            parts.append(f"{bucket}={seconds * 1000:.1f}ms({share:.0f}%)")
+    return " ".join(parts)
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[Optional[float]], unit: str = "") -> str:
+    """A figure series as aligned x -> y pairs."""
+    pairs = []
+    for x, y in zip(xs, ys):
+        if y is None:
+            pairs.append(f"{x}: failed")
+        else:
+            pairs.append(f"{x}: {_fmt(float(y))}{unit}")
+    return f"{name}  " + "  ".join(pairs)
+
+
+def running_average(values: Sequence[float], window: int) -> np.ndarray:
+    """The paper's Fig. 9 smoothing (running average over a window)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 1 or values.size == 0:
+        return values
+    window = min(window, values.size)
+    kernel = np.ones(window) / window
+    padded = np.concatenate([np.full(window - 1, values[0]), values])
+    return np.convolve(padded, kernel, mode="valid")

@@ -1,0 +1,48 @@
+"""Workload generation for the benchmark harness.
+
+The paper's lookup workload issues batches of B randomly selected keys
+(Sec. V-B), with B swept from 1,000 to 100,000; modification workloads
+insert/delete fractions of the dataset.  Helpers here generate those
+batches deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.table import ColumnTable
+
+__all__ = ["random_key_batch", "key_batches", "delete_batch"]
+
+
+def random_key_batch(
+    table: ColumnTable, batch_size: int, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """One batch of ``batch_size`` keys sampled (with replacement) from the
+    table's existing keys — the paper's random-lookup workload."""
+    idx = rng.integers(0, table.n_rows, size=batch_size)
+    return {k: table.column(k)[idx] for k in table.key}
+
+
+def key_batches(
+    table: ColumnTable,
+    batch_size: int,
+    repeats: int,
+    seed: int = 0,
+) -> List[Dict[str, np.ndarray]]:
+    """``repeats`` independent random key batches (the paper averages 5)."""
+    rng = np.random.default_rng((seed, batch_size))
+    return [random_key_batch(table, batch_size, rng) for _ in range(repeats)]
+
+
+def delete_batch(
+    table: ColumnTable, fraction: float, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """A set of existing keys covering ``fraction`` of the table."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    count = max(1, int(table.n_rows * fraction))
+    idx = rng.choice(table.n_rows, size=count, replace=False)
+    return {k: table.column(k)[idx] for k in table.key}

@@ -1,0 +1,222 @@
+"""Command-line interface for the DeepMapping reproduction.
+
+Subcommands:
+
+- ``build``  — fit a hybrid structure over a generated dataset and save it
+- ``info``   — print a saved structure's size report
+- ``query``  — point lookups against a saved structure
+- ``bench``  — quick size/latency comparison against baselines
+
+Examples::
+
+    python -m repro build --dataset tpch:orders --scale 0.2 --out orders.dm
+    python -m repro info orders.dm
+    python -m repro query orders.dm --key o_orderkey=1 --key o_orderkey=3
+    python -m repro bench --dataset synthetic:multi-high --systems DM-Z,ABC-Z
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bench import format_storage_latency_table, run_comparison
+from .core import DeepMapping, DeepMappingConfig
+from .data import ColumnTable, crop, synthetic, tpcds, tpch
+
+__all__ = ["main", "load_dataset"]
+
+
+def load_dataset(spec: str, scale: float, seed: int) -> ColumnTable:
+    """Resolve a dataset spec of the form ``family:name``.
+
+    Families: ``tpch`` (supplier/part/customer/orders/lineitem), ``tpcds``
+    (customer_demographics/catalog_sales/catalog_returns), ``synthetic``
+    (single-low/single-high/multi-low/multi-high, rows = 10000 * scale),
+    and ``crop`` (raster edge = 100 * sqrt(scale)).
+    """
+    family, _, name = spec.partition(":")
+    if family == "tpch":
+        return tpch.generate(name, scale=scale, seed=seed)
+    if family == "tpcds":
+        return tpcds.generate(name, scale=scale, seed=seed)
+    if family == "synthetic":
+        rows = max(int(10_000 * scale), 100)
+        kind, _, correlation = name.partition("-")
+        if kind == "single":
+            return synthetic.single_column(rows, correlation, seed=seed)
+        if kind == "multi":
+            return synthetic.multi_column(rows, correlation, seed=seed)
+        raise SystemExit(f"unknown synthetic dataset {name!r}")
+    if family == "crop":
+        edge = max(int(100 * np.sqrt(scale)), 10)
+        return crop.generate(edge, edge, seed=seed)
+    raise SystemExit(f"unknown dataset family {family!r} in {spec!r}")
+
+
+def _config_from_args(args: argparse.Namespace) -> DeepMappingConfig:
+    kwargs = dict(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        aux_codec=args.aux_codec,
+        key_headroom_fraction=args.headroom,
+        use_search=args.search,
+        seed=args.seed,
+    )
+    if args.shared:
+        kwargs["shared_sizes"] = tuple(int(s) for s in args.shared.split(","))
+    if args.private:
+        kwargs["private_sizes"] = tuple(int(s) for s in args.private.split(","))
+    return DeepMappingConfig(**kwargs)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    table = load_dataset(args.dataset, args.scale, args.seed)
+    print(f"building DeepMapping over {table.name}: {table.n_rows} rows, "
+          f"{table.uncompressed_bytes() // 1024} KB raw")
+    dm = DeepMapping.fit(table, _config_from_args(args))
+    report = dm.size_report()
+    print(f"hybrid: {report.total_bytes // 1024} KB "
+          f"(ratio {report.compression_ratio:.3f}); "
+          f"memorized {report.memorized_fraction:.0%} of tuples")
+    nbytes = dm.save(args.out)
+    print(f"saved {nbytes} bytes to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dm = DeepMapping.load(args.path)
+    report = dm.size_report()
+    print(f"keys: {dm.key_names}; values: {list(dm.value_names)}; "
+          f"live rows: {len(dm)}")
+    print(f"model:        {report.model_bytes:>10,} B")
+    print(f"aux table:    {report.aux_bytes:>10,} B ({report.n_in_aux} rows)")
+    print(f"exist vector: {report.exist_bytes:>10,} B")
+    print(f"decode map:   {report.decode_bytes:>10,} B")
+    print(f"total:        {report.total_bytes:>10,} B "
+          f"(ratio {report.compression_ratio:.3f} of "
+          f"{report.dataset_bytes:,} B raw)")
+    print(f"memorized:    {report.memorized_fraction:.1%} of tuples")
+    return 0
+
+
+def _parse_key(pairs: List[str], key_names) -> Dict[str, np.ndarray]:
+    parsed: Dict[str, List[int]] = {name: [] for name in key_names}
+    row: Dict[str, int] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if name not in parsed:
+            raise SystemExit(f"unknown key column {name!r}; "
+                             f"expected {tuple(key_names)}")
+        row[name] = int(value)
+        if set(row) == set(key_names):
+            for k, v in row.items():
+                parsed[k].append(v)
+            row = {}
+    if row:
+        raise SystemExit("incomplete trailing key (missing columns "
+                         f"{sorted(set(key_names) - set(row))})")
+    return {k: np.array(v, dtype=np.int64) for k, v in parsed.items()}
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dm = DeepMapping.load(args.path)
+    keys = _parse_key(args.key, dm.key_names)
+    n = len(next(iter(keys.values())))
+    if n == 0:
+        raise SystemExit("no --key given")
+    result = dm.lookup(keys)
+    for i, row in enumerate(result.rows()):
+        key_repr = ", ".join(f"{k}={keys[k][i]}" for k in dm.key_names)
+        if row is None:
+            print(f"({key_repr}) -> NULL")
+        else:
+            values = ", ".join(f"{k}={row[k]}" for k in dm.value_names)
+            print(f"({key_repr}) -> {values}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    table = load_dataset(args.dataset, args.scale, args.seed)
+    systems = args.systems.split(",")
+    results = run_comparison(
+        table,
+        systems=systems,
+        batch_sizes=[args.batch],
+        memory_budget=args.memory_budget,
+        repeats=args.repeats,
+        dm_config=_config_from_args(args),
+        partition_bytes=args.partition_bytes,
+    )
+    print(format_storage_latency_table(
+        results, [args.batch],
+        title=f"{args.dataset} (rows={table.n_rows}, "
+              f"raw={table.uncompressed_bytes() // 1024}KB)"))
+    return 0
+
+
+def _add_build_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--learning-rate", type=float, default=0.003)
+    parser.add_argument("--shared", default="",
+                        help="comma-separated shared layer widths")
+    parser.add_argument("--private", default="",
+                        help="comma-separated private layer widths")
+    parser.add_argument("--aux-codec", default="zstd",
+                        choices=["none", "gzip", "zstd", "lzma"])
+    parser.add_argument("--headroom", type=float, default=0.0,
+                        help="key-domain headroom fraction for inserts")
+    parser.add_argument("--search", action="store_true",
+                        help="run MHAS instead of fixed layer sizes")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepMapping reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="fit and save a structure")
+    p_build.add_argument("--dataset", required=True,
+                         help="family:name, e.g. tpch:orders")
+    p_build.add_argument("--scale", type=float, default=0.2)
+    p_build.add_argument("--out", required=True)
+    _add_build_options(p_build)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_info = sub.add_parser("info", help="size report of a saved structure")
+    p_info.add_argument("path")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_query = sub.add_parser("query", help="point lookups")
+    p_query.add_argument("path")
+    p_query.add_argument("--key", action="append", default=[],
+                         help="column=value; repeat per key column and row")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser("bench", help="compare against baselines")
+    p_bench.add_argument("--dataset", required=True)
+    p_bench.add_argument("--scale", type=float, default=0.2)
+    p_bench.add_argument("--systems", default="DM-Z,ABC-Z,AB")
+    p_bench.add_argument("--batch", type=int, default=1000)
+    p_bench.add_argument("--repeats", type=int, default=2)
+    p_bench.add_argument("--memory-budget", type=int, default=None)
+    p_bench.add_argument("--partition-bytes", type=int, default=16 * 1024)
+    _add_build_options(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

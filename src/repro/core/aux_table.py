@@ -1,0 +1,219 @@
+"""Auxiliary accuracy-assurance table ``T_aux`` (paper Sec. IV-B1).
+
+Stores the key→value pairs the model misclassifies, as *label codes*:
+
+- rows are sorted by flattened key, partitioned, and each partition is
+  compressed (Z-Standard or LZMA in the paper — DM-Z / DM-L);
+- lookups locate the partition (binary search over boundaries), fault it
+  into the buffer pool, decompress once per query batch, and binary-search
+  the key inside — all inherited from
+  :class:`~repro.storage.partition.SortedPartitionStore`;
+- modifications (Algorithms 3–5) are absorbed by a small in-memory overlay
+  (adds/updates plus tombstones) that :meth:`compact` merges back into the
+  compressed partitions.
+
+The overlay keeps single-row mutations O(1) instead of rewriting a
+compressed partition per operation; its serialized size is charged to the
+auxiliary structure so the retrain trigger sees the true footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..storage.buffer_pool import BufferPool
+from ..storage.disk import DiskStore
+from ..storage.partition import SortedPartitionStore
+from ..storage.serializer import minimal_int_dtype, serialized_size
+from ..storage.stats import StoreStats
+
+__all__ = ["AuxiliaryTable"]
+
+
+class AuxiliaryTable:
+    """Compressed, partitioned store of misclassified (key, codes) rows.
+
+    Parameters
+    ----------
+    tasks:
+        Value-column (task) names, defining the code tuple layout.
+    codec / target_partition_bytes:
+        Partition compression settings (paper's DM-Z vs DM-L knob).
+    disk / pool / stats:
+        Storage substrate; private instances created when omitted.
+    """
+
+    def __init__(
+        self,
+        tasks: Tuple[str, ...],
+        codec: str = "zstd",
+        target_partition_bytes: int = 64 * 1024,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+        auto_compact_rows: int = 4096,
+    ):
+        if not tasks:
+            raise ValueError("at least one task is required")
+        if auto_compact_rows <= 0:
+            raise ValueError("auto_compact_rows must be positive")
+        self.tasks = tuple(tasks)
+        self.auto_compact_rows = auto_compact_rows
+        self.stats = stats if stats is not None else StoreStats()
+        self._store = SortedPartitionStore(
+            codec=codec,
+            target_partition_bytes=target_partition_bytes,
+            disk=disk,
+            pool=pool,
+            stats=self.stats,
+            name_prefix="aux",
+        )
+        self._overlay: Dict[int, Tuple[int, ...]] = {}
+        self._tombstones: set = set()
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, flat_keys: np.ndarray, codes: Dict[str, np.ndarray]) -> None:
+        """(Re)build the partitions from misclassified rows."""
+        flat_keys = np.asarray(flat_keys, dtype=np.int64)
+        columns = {}
+        for task in self.tasks:
+            col = np.asarray(codes[task], dtype=np.int64)
+            max_code = int(col.max()) if col.size else 0
+            columns[task] = col.astype(minimal_int_dtype(max_code))
+        self._store.build(flat_keys, columns)
+        self._overlay.clear()
+        self._tombstones.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup_batch(
+        self, flat_keys: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Return ``(found, codes)`` for a batch of flattened keys.
+
+        Overlay entries win over partitions; tombstoned keys read as
+        absent.  Code arrays are int64 and only meaningful where ``found``.
+        """
+        flat_keys = np.asarray(flat_keys, dtype=np.int64)
+        found, raw = self._store.lookup_batch(flat_keys)
+        codes = {t: np.asarray(raw[t], dtype=np.int64) for t in self.tasks}
+        if self._tombstones or self._overlay:
+            for i, key in enumerate(flat_keys.tolist()):
+                if key in self._tombstones:
+                    found[i] = False
+                elif key in self._overlay:
+                    found[i] = True
+                    row = self._overlay[key]
+                    for j, task in enumerate(self.tasks):
+                        codes[task][i] = row[j]
+        return found, codes
+
+    def contains(self, flat_key: int) -> bool:
+        """Membership test for a single key."""
+        found, _ = self.lookup_batch(np.array([flat_key], dtype=np.int64))
+        return bool(found[0])
+
+    # ------------------------------------------------------------------
+    # Mutations (the paper's Algorithms 3-5 write through these)
+    # ------------------------------------------------------------------
+    def add_batch(self, flat_keys: np.ndarray, codes: Dict[str, np.ndarray]) -> None:
+        """Insert or overwrite rows (misclassified inserts / updates)."""
+        flat_keys = np.asarray(flat_keys, dtype=np.int64)
+        for i, key in enumerate(flat_keys.tolist()):
+            self._tombstones.discard(key)
+            self._overlay[key] = tuple(
+                int(codes[task][i]) for task in self.tasks
+            )
+        self._maybe_compact()
+
+    def remove_batch(self, flat_keys: np.ndarray) -> None:
+        """Remove rows if present (deletes / updates the model now gets
+        right).  Removal of an absent key is a no-op."""
+        flat_keys = np.asarray(flat_keys, dtype=np.int64)
+        in_parts, _ = self._store.lookup_batch(flat_keys)
+        for i, key in enumerate(flat_keys.tolist()):
+            self._overlay.pop(key, None)
+            if in_parts[i]:
+                self._tombstones.add(key)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Fold the overlay into compressed partitions once it grows past
+        ``auto_compact_rows`` (keeps the offline footprint honest: the
+        paper stores misclassified modifications compressed)."""
+        if len(self._overlay) + len(self._tombstones) >= self.auto_compact_rows:
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # Maintenance / accounting
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Merge the overlay and tombstones back into compressed partitions."""
+        if not self._overlay and not self._tombstones:
+            return
+        keys, columns = self._store.scan()
+        merged: Dict[int, Tuple[int, ...]] = {
+            int(k): tuple(int(columns[t][i]) for t in self.tasks)
+            for i, k in enumerate(keys)
+            if int(k) not in self._tombstones
+        }
+        merged.update(self._overlay)
+        if merged:
+            new_keys = np.array(sorted(merged), dtype=np.int64)
+            new_codes = {
+                t: np.array([merged[k][j] for k in new_keys.tolist()],
+                            dtype=np.int64)
+                for j, t in enumerate(self.tasks)
+            }
+        else:
+            new_keys = np.empty(0, dtype=np.int64)
+            new_codes = {t: np.empty(0, dtype=np.int64) for t in self.tasks}
+        self.build(new_keys, new_codes)
+
+    def __len__(self) -> int:
+        """Live row count (partitions − tombstones + fresh overlay rows)."""
+        overlay_new = sum(
+            1 for key in self._overlay
+            if not self._store.lookup_batch(np.array([key]))[0][0]
+        )
+        return len(self._store) - len(self._tombstones) + overlay_new
+
+    def stored_bytes(self) -> int:
+        """Offline footprint: compressed partitions + serialized overlay."""
+        overlay_bytes = 0
+        if self._overlay or self._tombstones:
+            overlay_bytes = serialized_size((self._overlay, self._tombstones))
+        return self._store.stored_bytes() + overlay_bytes
+
+    @property
+    def partition_count(self) -> int:
+        """Number of compressed partitions."""
+        return len(self._store.partitions)
+
+    def scan(self) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Materialize all live rows, sorted by key (overlay merged)."""
+        self_keys, columns = self._store.scan()
+        merged: Dict[int, Tuple[int, ...]] = {
+            int(k): tuple(int(columns[t][i]) for t in self.tasks)
+            for i, k in enumerate(self_keys)
+            if int(k) not in self._tombstones
+        }
+        merged.update(self._overlay)
+        keys = np.array(sorted(merged), dtype=np.int64)
+        codes = {
+            t: np.array([merged[k][j] for k in keys.tolist()], dtype=np.int64)
+            for j, t in enumerate(self.tasks)
+        }
+        return keys, codes
+
+    def __repr__(self) -> str:
+        return (
+            f"AuxiliaryTable(tasks={list(self.tasks)}, rows={len(self)}, "
+            f"partitions={self.partition_count}, "
+            f"overlay={len(self._overlay)}, tombstones={len(self._tombstones)})"
+        )

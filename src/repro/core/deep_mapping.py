@@ -1,0 +1,612 @@
+"""The DeepMapping hybrid structure (paper Sec. IV).
+
+A :class:`DeepMapping` couples four artifacts:
+
+1. ``M`` — a frozen multi-task neural network memorizing most of the
+   key→value mapping (:class:`~repro.nn.inference.InferenceSession`);
+2. ``T_aux`` — a compressed auxiliary table holding the rows ``M`` gets
+   wrong (:class:`~repro.core.aux_table.AuxiliaryTable`);
+3. ``V_exist`` — an existence bit vector over the flattened key domain
+   (:class:`~repro.core.exist_index.ExistenceIndex`);
+4. ``f_decode`` — the label-code→value decode map
+   (:class:`~repro.data.encoding.DecodeMap`).
+
+Together they answer exact-match lookups losslessly (Algorithm 1), support
+insert/delete/update without retraining (Algorithms 3–5), and occupy a
+fraction of the raw data's footprint when key-value structure exists.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..data.encoding import CompositeKeyCodec, DecodeMap, KeyEncoder
+from ..data.table import ColumnTable
+from ..nn.inference import InferenceSession
+from ..nn.multitask import ArchitectureSpec, MultiTaskMLP
+from ..nn.optimizers import Adam, ExponentialDecay
+from ..nn.training import Trainer
+from ..storage.buffer_pool import BufferPool
+from ..storage.disk import DiskStore
+from ..storage.stats import StoreStats
+from .aux_table import AuxiliaryTable
+from .config import DeepMappingConfig
+from .exist_index import ExistenceIndex, load_existence, make_existence_index
+from .modify import ModificationTracker, estimate_batch_bytes
+
+__all__ = ["DeepMapping", "LookupResult", "SizeReport"]
+
+KeysLike = Union[Dict[str, np.ndarray], ColumnTable, np.ndarray, list]
+RowsLike = Union[Dict[str, np.ndarray], ColumnTable]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a batch lookup.
+
+    ``found[i]`` is False for keys absent from the data (the paper's NULL);
+    ``values[col][i]`` is only meaningful where ``found[i]`` is True.
+    """
+
+    found: np.ndarray
+    values: Dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.found.size)
+
+    def rows(self) -> Iterator[Optional[Dict[str, object]]]:
+        """Iterate rows as dicts, yielding ``None`` for missing keys."""
+        for i in range(self.found.size):
+            if self.found[i]:
+                yield {name: arr[i] for name, arr in self.values.items()}
+            else:
+                yield None
+
+
+@dataclass
+class SizeReport:
+    """Storage breakdown of a hybrid structure (paper Fig. 6 / Eq. 1)."""
+
+    model_bytes: int
+    aux_bytes: int
+    exist_bytes: int
+    decode_bytes: int
+    dataset_bytes: int
+    n_rows: int
+    n_in_aux: int
+
+    @property
+    def total_bytes(self) -> int:
+        """size(M) + size(T_aux) + size(V_exist) + size(f_decode)."""
+        return (self.model_bytes + self.aux_bytes + self.exist_bytes
+                + self.decode_bytes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Eq. 1: total hybrid size over raw dataset size (lower is better)."""
+        if self.dataset_bytes == 0:
+            return float("inf")
+        return self.total_bytes / self.dataset_bytes
+
+    @property
+    def memorized_fraction(self) -> float:
+        """Fraction of live tuples served by the model alone (Fig. 6)."""
+        if self.n_rows == 0:
+            return 1.0
+        return 1.0 - self.n_in_aux / self.n_rows
+
+    def breakdown(self) -> Dict[str, float]:
+        """Percent of the hybrid size per component."""
+        total = max(self.total_bytes, 1)
+        return {
+            "model": 100.0 * self.model_bytes / total,
+            "aux_table": 100.0 * self.aux_bytes / total,
+            "exist_vector": 100.0 * self.exist_bytes / total,
+            "decode_map": 100.0 * self.decode_bytes / total,
+        }
+
+
+class DeepMapping:
+    """Learned, lossless, updateable key→value mapping.
+
+    Build with :meth:`fit`; query with :meth:`lookup`; mutate with
+    :meth:`insert` / :meth:`delete` / :meth:`update`; persist with
+    :meth:`save` / :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        key_codec: CompositeKeyCodec,
+        key_encoder: KeyEncoder,
+        session: InferenceSession,
+        aux: AuxiliaryTable,
+        exist: ExistenceIndex,
+        fdecode: DecodeMap,
+        config: DeepMappingConfig,
+        dataset_bytes: int,
+        stats: Optional[StoreStats] = None,
+    ):
+        self.key_codec = key_codec
+        self.key_encoder = key_encoder
+        self.session = session
+        self.aux = aux
+        self.exist = exist
+        self.fdecode = fdecode
+        self.config = config
+        self.stats = stats if stats is not None else StoreStats()
+        self.tracker = ModificationTracker(config.retrain_threshold_bytes)
+        self._dataset_bytes = int(dataset_bytes)
+        #: :class:`~repro.core.mhas.SearchOutcome` when MHAS built this
+        #: structure (None for fixed architectures).
+        self.search_history = None
+        #: :class:`~repro.nn.training.TrainingResult` of the build (None
+        #: for loaded structures).
+        self.last_training = None
+        #: How many tensors a warm-started build transferred.
+        self.warm_started_tensors = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        table: ColumnTable,
+        config: Optional[DeepMappingConfig] = None,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+        warm_start: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "DeepMapping":
+        """Train a hybrid structure that losslessly represents ``table``.
+
+        The build follows the paper's initialization: encode keys/values,
+        pick an architecture (fixed sizes or MHAS when
+        ``config.use_search``), train to convergence, then materialize the
+        auxiliary structures from the model's residual errors.
+
+        ``warm_start`` optionally carries named weight arrays from a
+        previous model (see :meth:`rebuild`): tensors whose shape still
+        matches are copied before training, implementing the paper's
+        model-reuse retraining (Sec. V-D future work).
+        """
+        config = config if config is not None else DeepMappingConfig()
+        stats = stats if stats is not None else StoreStats()
+        rng = np.random.default_rng(config.seed)
+
+        key_cols = table.key_columns_dict()
+        first_key = np.asarray(key_cols[table.key[0]], dtype=np.int64)
+        extent = int(first_key.max() - first_key.min() + 1)
+        headroom = int(extent * config.key_headroom_fraction)
+        key_codec = CompositeKeyCodec(table.key).fit(key_cols, headroom=headroom)
+        flat = key_codec.flatten(key_cols)
+        if np.unique(flat).size != flat.size:
+            raise ValueError("the designated key does not uniquely identify rows")
+
+        value_cols = table.value_columns_dict()
+        if not value_cols:
+            raise ValueError("table has no value columns to learn")
+        fdecode = DecodeMap.fit(value_cols)
+        labels = fdecode.encode(value_cols)
+
+        key_encoder = KeyEncoder(config.key_base).fit(key_codec.domain_size - 1)
+        x = key_encoder.encode(flat)
+
+        search_history = None
+        if config.use_search:
+            from .mhas import MHASConfig, search as mhas_search
+
+            search_cfg = config.search if config.search is not None else MHASConfig()
+            outcome = mhas_search(
+                x,
+                labels,
+                output_dims=fdecode.cardinalities(),
+                dataset_bytes=table.uncompressed_bytes(),
+                overhead_bytes=fdecode.nbytes,
+                config=search_cfg,
+                rng=rng,
+            )
+            model = outcome.model
+            search_history = outcome
+        else:
+            spec = ArchitectureSpec(
+                input_dim=key_encoder.input_dim,
+                shared_sizes=tuple(config.shared_sizes),
+                private_sizes={t: tuple(config.private_sizes)
+                               for t in fdecode.columns},
+                output_dims=fdecode.cardinalities(),
+            )
+            model = MultiTaskMLP(spec, rng=rng)
+
+        warm_tensors = 0
+        if warm_start is not None:
+            warm_tensors = model.load_state_arrays(warm_start)
+
+        optimizer = Adam(ExponentialDecay(config.learning_rate, config.lr_decay))
+        trainer = Trainer(model, optimizer, batch_size=config.batch_size,
+                          tol=config.tol, rng=rng)
+        training = trainer.fit(x, labels, epochs=config.epochs)
+
+        session = InferenceSession.from_model(model, config.weight_dtype)
+        aux = AuxiliaryTable(
+            tasks=fdecode.columns,
+            codec=config.aux_codec,
+            target_partition_bytes=config.aux_partition_bytes,
+            disk=disk,
+            pool=pool,
+            stats=stats,
+            auto_compact_rows=config.aux_auto_compact_rows,
+        )
+        mis = cls._misclassified_mask(session, x, labels, config.inference_batch)
+        aux.build(flat[mis], {t: labels[t][mis] for t in fdecode.columns})
+
+        exist = make_existence_index(key_codec.domain_size, flat.size)
+        exist.set_batch(flat)
+
+        mapping = cls(
+            key_codec=key_codec,
+            key_encoder=key_encoder,
+            session=session,
+            aux=aux,
+            exist=exist,
+            fdecode=fdecode,
+            config=config,
+            dataset_bytes=table.uncompressed_bytes(),
+            stats=stats,
+        )
+        mapping.search_history = search_history
+        mapping.last_training = training
+        mapping.warm_started_tensors = warm_tensors
+        return mapping
+
+    @staticmethod
+    def _misclassified_mask(
+        session: InferenceSession,
+        x: np.ndarray,
+        labels: Dict[str, np.ndarray],
+        batch: int,
+    ) -> np.ndarray:
+        """Rows where any task's prediction disagrees with the label."""
+        predicted = session.run(x, batch_size=batch)
+        mis = np.zeros(x.shape[0], dtype=bool)
+        for task, lab in labels.items():
+            mis |= predicted[task] != np.asarray(lab)
+        return mis
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def key_names(self) -> Tuple[str, ...]:
+        """Key column names."""
+        return self.key_codec.key_names
+
+    @property
+    def value_names(self) -> Tuple[str, ...]:
+        """Value column (task) names."""
+        return self.fdecode.columns
+
+    def __len__(self) -> int:
+        """Number of live keys."""
+        return self.exist.count()
+
+    def storage_bytes(self) -> int:
+        """Total offline footprint of the hybrid structure."""
+        return self.size_report().total_bytes
+
+    def size_report(self) -> SizeReport:
+        """Per-component storage breakdown (Fig. 6 / Eq. 1)."""
+        return SizeReport(
+            model_bytes=self.session.nbytes,
+            aux_bytes=self.aux.stored_bytes(),
+            exist_bytes=self.exist.stored_bytes(),
+            decode_bytes=self.fdecode.nbytes,
+            dataset_bytes=self._dataset_bytes,
+            n_rows=len(self),
+            n_in_aux=len(self.aux),
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup (paper Algorithm 1)
+    # ------------------------------------------------------------------
+    def lookup(self, keys: KeysLike) -> LookupResult:
+        """Batch exact-match lookup.
+
+        Runs batch inference over all query keys, masks non-existing keys
+        through ``V_exist``, overrides misclassified keys from ``T_aux``,
+        and decodes label codes to original values.
+        """
+        key_cols = self._normalize_keys(keys)
+        flat, in_domain = self.key_codec.try_flatten(key_cols)
+
+        with self.stats.timing("existence"):
+            found = self.exist.test_batch(flat) & in_domain
+
+        with self.stats.timing("inference"):
+            x = self.key_encoder.encode(flat)
+            codes = self.session.run(x, batch_size=self.config.inference_batch)
+
+        if found.any():
+            aux_found, aux_codes = self.aux.lookup_batch(flat[found])
+            rows = np.flatnonzero(found)[aux_found]
+            for task in self.value_names:
+                codes[task][rows] = aux_codes[task][aux_found]
+
+        with self.stats.timing("decode"):
+            # Codes for non-existing rows are clamped into vocabulary range
+            # purely so decode is well-defined; `found` masks them out.
+            values = {}
+            for task in self.value_names:
+                card = self.fdecode.encoders[task].cardinality
+                safe = np.clip(codes[task], 0, card - 1)
+                values[task] = self.fdecode.encoders[task].decode(safe)
+        return LookupResult(found=found, values=values)
+
+    def lookup_one(self, **key_parts) -> Optional[Dict[str, object]]:
+        """Convenience single-key lookup; returns a row dict or None."""
+        key_cols = {name: np.array([value]) for name, value in key_parts.items()}
+        if set(key_cols) != set(self.key_names):
+            raise KeyError(f"expected key columns {self.key_names}")
+        result = self.lookup(key_cols)
+        return next(result.rows())
+
+    # ------------------------------------------------------------------
+    # Modifications (paper Algorithms 3-5)
+    # ------------------------------------------------------------------
+    def insert(self, rows: RowsLike) -> int:
+        """Insert new key→value rows (Algorithm 3).
+
+        Existence bits are set, the model is evaluated on the new keys, and
+        only rows the model mispredicts are materialized in ``T_aux``.
+        Returns the number of rows landed in the auxiliary table.
+        """
+        columns = self._normalize_rows(rows)
+        try:
+            flat = self._flatten_or_rebuild_domain(columns)
+        except _DomainRebuilt:
+            # The structure was rebuilt over old + new rows; nothing lands
+            # in the (fresh) auxiliary overlay for this call specifically.
+            return 0
+        existing = self.exist.test_batch(flat)
+        if existing.any():
+            raise ValueError(
+                f"{int(existing.sum())} key(s) already exist; use update()"
+            )
+
+        value_cols = {t: np.asarray(columns[t]) for t in self.value_names}
+        self.fdecode.extend(value_cols)
+        labels = self.fdecode.encode(value_cols)
+
+        self.exist.set_batch(flat)
+        x = self.key_encoder.encode(flat)
+        mis = self._misclassified_mask(self.session, x, labels,
+                                       self.config.inference_batch)
+        if mis.any():
+            self.aux.add_batch(flat[mis], {t: labels[t][mis]
+                                           for t in self.value_names})
+
+        self.tracker.record(estimate_batch_bytes(columns), n_ops=flat.size)
+        self._maybe_retrain()
+        return int(mis.sum())
+
+    def delete(self, keys: KeysLike) -> int:
+        """Delete keys (Algorithm 4): clear existence bits, drop aux rows.
+
+        Returns the number of keys actually deleted (absent keys are
+        ignored, matching the paper's idempotent bit-clear semantics).
+        """
+        key_cols = self._normalize_keys(keys)
+        flat, in_domain = self.key_codec.try_flatten(key_cols)
+        live = self.exist.test_batch(flat) & in_domain
+        targets = flat[live]
+        self.exist.clear_batch(targets)
+        self.aux.remove_batch(targets)
+        self.tracker.record(estimate_batch_bytes(key_cols), n_ops=targets.size)
+        self._maybe_retrain()
+        return int(targets.size)
+
+    def update(self, rows: RowsLike) -> int:
+        """Replace values of existing keys (Algorithm 5).
+
+        Rows the model now predicts correctly are dropped from ``T_aux``;
+        the rest are inserted or updated in place there.  Returns the
+        number of rows materialized in the auxiliary table.
+        """
+        columns = self._normalize_rows(rows)
+        flat, in_domain = self.key_codec.try_flatten(columns)
+        live = self.exist.test_batch(flat) & in_domain
+        if not live.all():
+            raise KeyError(
+                f"{int((~live).sum())} key(s) do not exist; use insert()"
+            )
+
+        value_cols = {t: np.asarray(columns[t]) for t in self.value_names}
+        self.fdecode.extend(value_cols)
+        labels = self.fdecode.encode(value_cols)
+
+        x = self.key_encoder.encode(flat)
+        mis = self._misclassified_mask(self.session, x, labels,
+                                       self.config.inference_batch)
+        if (~mis).any():
+            self.aux.remove_batch(flat[~mis])
+        if mis.any():
+            self.aux.add_batch(flat[mis], {t: labels[t][mis]
+                                           for t in self.value_names})
+        self.tracker.record(estimate_batch_bytes(columns), n_ops=flat.size)
+        self._maybe_retrain()
+        return int(mis.sum())
+
+    # ------------------------------------------------------------------
+    # Retraining (paper Sec. IV-D closing discussion)
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Retrain the model and reconstruct the auxiliary structures from
+        the current logical content (triggered lazily by the tracker).
+
+        When ``config.warm_start_rebuild`` is set (default), the retrain is
+        initialized from the current model's weights — the paper's
+        model-reuse optimization for its expensive retraining step.
+        """
+        table = self.to_table()
+        warm = (self.session.state_arrays()
+                if self.config.warm_start_rebuild and not self.config.use_search
+                else None)
+        fresh = DeepMapping.fit(table, self.config, stats=self.stats,
+                                warm_start=warm)
+        self.key_codec = fresh.key_codec
+        self.key_encoder = fresh.key_encoder
+        self.session = fresh.session
+        self.aux = fresh.aux
+        self.exist = fresh.exist
+        self.fdecode = fresh.fdecode
+        self._dataset_bytes = fresh._dataset_bytes
+        self.last_training = fresh.last_training
+        self.warm_started_tensors = fresh.warm_started_tensors
+        self.tracker.mark_rebuilt()
+
+    def _maybe_retrain(self) -> None:
+        if self.tracker.should_retrain():
+            self.rebuild()
+
+    def to_table(self) -> ColumnTable:
+        """Materialize the current logical content as a ColumnTable."""
+        flat = self.exist.existing_keys()
+        key_cols = self.key_codec.unflatten(flat)
+        columns: Dict[str, np.ndarray] = dict(key_cols)
+        batch = max(self.config.inference_batch, 1)
+        parts = {t: [] for t in self.value_names}
+        for start in range(0, flat.size, batch):
+            chunk_keys = {n: arr[start: start + batch]
+                          for n, arr in key_cols.items()}
+            result = self.lookup(chunk_keys)
+            for t in self.value_names:
+                parts[t].append(result.values[t])
+        for t in self.value_names:
+            columns[t] = (np.concatenate(parts[t]) if parts[t]
+                          else np.empty(0))
+        return ColumnTable(columns, key=self.key_names, name="deepmapping")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Serialize the full hybrid structure to one file; returns bytes."""
+        aux_keys, aux_codes = self.aux.scan()
+        state = {
+            "config": self.config,
+            "key_codec": self.key_codec.to_state(),
+            "key_encoder": self.key_encoder.to_state(),
+            "session": self.session.to_bytes(),
+            "exist": self.exist.to_bytes(),
+            "fdecode": self.fdecode.to_state(),
+            "aux_keys": aux_keys,
+            "aux_codes": aux_codes,
+            "dataset_bytes": self._dataset_bytes,
+        }
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return len(payload)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+    ) -> "DeepMapping":
+        """Inverse of :meth:`save`."""
+        with open(path, "rb") as handle:
+            state = pickle.loads(handle.read())
+        config: DeepMappingConfig = state["config"]
+        stats = stats if stats is not None else StoreStats()
+        fdecode = DecodeMap.from_state(state["fdecode"])
+        aux = AuxiliaryTable(
+            tasks=fdecode.columns,
+            codec=config.aux_codec,
+            target_partition_bytes=config.aux_partition_bytes,
+            disk=disk,
+            pool=pool,
+            stats=stats,
+            auto_compact_rows=config.aux_auto_compact_rows,
+        )
+        aux.build(state["aux_keys"], state["aux_codes"])
+        return cls(
+            key_codec=CompositeKeyCodec.from_state(state["key_codec"]),
+            key_encoder=KeyEncoder.from_state(state["key_encoder"]),
+            session=InferenceSession.from_bytes(state["session"]),
+            aux=aux,
+            exist=load_existence(state["exist"]),
+            fdecode=fdecode,
+            config=config,
+            dataset_bytes=state["dataset_bytes"],
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Input normalization
+    # ------------------------------------------------------------------
+    def _normalize_keys(self, keys: KeysLike) -> Dict[str, np.ndarray]:
+        if isinstance(keys, ColumnTable):
+            return {k: keys.column(k) for k in self.key_names}
+        if isinstance(keys, dict):
+            missing = [k for k in self.key_names if k not in keys]
+            if missing:
+                raise KeyError(f"missing key columns: {missing}")
+            return {k: np.asarray(keys[k]) for k in self.key_names}
+        arr = np.asarray(keys)
+        if len(self.key_names) == 1:
+            return {self.key_names[0]: arr.reshape(-1)}
+        if arr.ndim == 2 and arr.shape[1] == len(self.key_names):
+            return {k: arr[:, i] for i, k in enumerate(self.key_names)}
+        raise ValueError(
+            f"cannot interpret keys of shape {arr.shape} for "
+            f"composite key {self.key_names}"
+        )
+
+    def _normalize_rows(self, rows: RowsLike) -> Dict[str, np.ndarray]:
+        if isinstance(rows, ColumnTable):
+            columns = rows.columns_dict()
+        else:
+            columns = {n: np.asarray(v) for n, v in rows.items()}
+        expected = set(self.key_names) | set(self.value_names)
+        if set(columns) != expected:
+            raise ValueError(
+                f"rows must supply exactly the columns {sorted(expected)}; "
+                f"got {sorted(columns)}"
+            )
+        return columns
+
+    def _flatten_or_rebuild_domain(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        """Flatten new keys; widen the key domain via rebuild if needed."""
+        flat, in_domain = self.key_codec.try_flatten(columns)
+        if in_domain.all():
+            return flat
+        # Out-of-domain inserts: rebuild the codec (and everything keyed by
+        # it) over current content plus the new rows' key range.  This is
+        # the "retrain offline when the structure no longer fits" path.
+        base = self.to_table()
+        incoming = ColumnTable(columns, key=self.key_names)
+        merged = base.concat(incoming) if base.n_rows else incoming
+        fresh = DeepMapping.fit(merged, self.config, stats=self.stats)
+        self.__dict__.update(fresh.__dict__)
+        self.tracker.mark_rebuilt()
+        # All rows (including the new ones) are now inside the structure;
+        # signal the caller that no further per-row handling is needed.
+        raise _DomainRebuilt()
+
+    def __repr__(self) -> str:
+        return (
+            f"DeepMapping(key={self.key_names}, values={list(self.value_names)}, "
+            f"rows={len(self)}, aux_rows={len(self.aux)}, "
+            f"bytes={self.storage_bytes()})"
+        )
+
+
+class _DomainRebuilt(Exception):
+    """Internal control flow: insert triggered a full domain rebuild."""

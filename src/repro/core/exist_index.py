@@ -1,0 +1,209 @@
+"""Existence index ``V_exist`` over the flattened key domain.
+
+One bit per possible key (paper Sec. IV-B): set bits mark keys present in
+the data.  This is what lets DeepMapping refuse to hallucinate values for
+keys it has never seen — the model would happily emit a prediction for any
+input, so every lookup is masked through this vector first (Algorithm 1,
+line 5).  Offline, the vector is stored compressed; the paper notes the
+compressed size depends on the randomness of the set bits (Sec. V-C).
+
+Two implementations share the interface:
+
+- :class:`ExistenceIndex` — the paper's dense bit vector, O(domain) bits;
+- :class:`SparseExistenceIndex` — a sorted key array for domains much
+  larger than the key count (e.g. wide composite keys), O(n) words, still
+  exact (a Bloom filter would reintroduce hallucinations).
+
+:func:`make_existence_index` picks automatically; :func:`load_existence`
+restores either from bytes.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..storage.bitvector import BitVector
+
+__all__ = [
+    "ExistenceIndex",
+    "SparseExistenceIndex",
+    "make_existence_index",
+    "load_existence",
+]
+
+#: Use the dense bit vector while domain_size <= this multiple of the
+#: expected key count (the break-even between 1 bit/domain-slot and
+#: ~64 bits/key, with margin for insertions).
+_DENSE_DOMAIN_FACTOR = 64
+#: Never allocate a dense vector above this domain size (512 MB of bits).
+_MAX_DENSE_DOMAIN = 1 << 32
+
+
+class ExistenceIndex:
+    """Bit-vector existence filter over ``[0, domain_size)`` flat keys."""
+
+    def __init__(self, domain_size: int):
+        if domain_size <= 0:
+            raise ValueError("domain_size must be positive")
+        self._bits = BitVector(domain_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def domain_size(self) -> int:
+        """Number of addressable keys."""
+        return len(self._bits)
+
+    def set_batch(self, flat_keys: np.ndarray) -> None:
+        """Mark keys as existing."""
+        self._bits.set_many(flat_keys, True)
+
+    def clear_batch(self, flat_keys: np.ndarray) -> None:
+        """Mark keys as deleted."""
+        self._bits.set_many(flat_keys, False)
+
+    def test_batch(self, flat_keys: np.ndarray) -> np.ndarray:
+        """Boolean existence mask for the queried keys."""
+        return self._bits.test_many(flat_keys)
+
+    def count(self) -> int:
+        """Number of live keys."""
+        return self._bits.count()
+
+    def existing_keys(self) -> np.ndarray:
+        """All live flat keys, ascending (used by rebuild/scan paths)."""
+        return np.flatnonzero(self._bits.to_bools()).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """In-memory packed size."""
+        return self._bits.nbytes
+
+    def stored_bytes(self) -> int:
+        """Offline (compressed) size — the ``size(V_exist)`` term of Eq. 1."""
+        return len(zlib.compress(self._bits.to_bytes(), 1))
+
+    def to_bytes(self) -> bytes:
+        """Serialize (compressed, tagged dense)."""
+        return b"D" + zlib.compress(self._bits.to_bytes(), 1)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ExistenceIndex":
+        """Inverse of :meth:`to_bytes`."""
+        if payload[:1] == b"D":
+            payload = payload[1:]
+        bits = BitVector.from_bytes(zlib.decompress(payload))
+        index = cls.__new__(cls)
+        index._bits = bits
+        return index
+
+    def __repr__(self) -> str:
+        return f"ExistenceIndex(domain={self.domain_size}, live={self.count()})"
+
+
+class SparseExistenceIndex:
+    """Exact existence filter as a sorted array of live flat keys.
+
+    Drop-in for :class:`ExistenceIndex` when ``domain_size`` dwarfs the
+    key count: membership is a binary search instead of a bit probe, and
+    the footprint is O(live keys) instead of O(domain).
+    """
+
+    def __init__(self, domain_size: int):
+        if domain_size <= 0:
+            raise ValueError("domain_size must be positive")
+        self._domain = int(domain_size)
+        self._keys = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def domain_size(self) -> int:
+        """Number of addressable keys."""
+        return self._domain
+
+    def set_batch(self, flat_keys: np.ndarray) -> None:
+        """Mark keys as existing."""
+        flat_keys = self._checked(flat_keys)
+        if flat_keys.size:
+            self._keys = np.union1d(self._keys, flat_keys)
+
+    def clear_batch(self, flat_keys: np.ndarray) -> None:
+        """Mark keys as deleted."""
+        flat_keys = self._checked(flat_keys)
+        if flat_keys.size:
+            self._keys = np.setdiff1d(self._keys, flat_keys,
+                                      assume_unique=False)
+
+    def test_batch(self, flat_keys: np.ndarray) -> np.ndarray:
+        """Boolean existence mask for the queried keys."""
+        flat_keys = self._checked(flat_keys)
+        if self._keys.size == 0:
+            return np.zeros(flat_keys.size, dtype=bool)
+        pos = np.searchsorted(self._keys, flat_keys)
+        pos = np.minimum(pos, self._keys.size - 1)
+        return self._keys[pos] == flat_keys
+
+    def count(self) -> int:
+        """Number of live keys."""
+        return int(self._keys.size)
+
+    def existing_keys(self) -> np.ndarray:
+        """All live flat keys, ascending."""
+        return self._keys.copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """In-memory size of the key array."""
+        return int(self._keys.nbytes)
+
+    def stored_bytes(self) -> int:
+        """Offline size: delta-encoded, compressed keys."""
+        return len(self.to_bytes()) - 1
+
+    def to_bytes(self) -> bytes:
+        """Serialize (delta-encoded + compressed, tagged sparse)."""
+        deltas = np.diff(self._keys, prepend=np.int64(0))
+        payload = (self._domain.to_bytes(8, "little")
+                   + zlib.compress(deltas.tobytes(), 1))
+        return b"S" + payload
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SparseExistenceIndex":
+        """Inverse of :meth:`to_bytes`."""
+        if payload[:1] == b"S":
+            payload = payload[1:]
+        domain = int.from_bytes(payload[:8], "little")
+        deltas = np.frombuffer(zlib.decompress(payload[8:]), dtype=np.int64)
+        index = cls(domain)
+        index._keys = np.cumsum(deltas).astype(np.int64)
+        return index
+
+    def _checked(self, flat_keys) -> np.ndarray:
+        arr = np.asarray(flat_keys, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self._domain):
+            raise IndexError("flat key outside the domain")
+        return arr
+
+    def __repr__(self) -> str:
+        return (f"SparseExistenceIndex(domain={self._domain}, "
+                f"live={self.count()})")
+
+
+def make_existence_index(domain_size: int, expected_keys: int):
+    """Pick dense vs. sparse for a domain and expected population."""
+    dense_affordable = domain_size <= _MAX_DENSE_DOMAIN
+    dense_economic = domain_size <= max(expected_keys, 1) * _DENSE_DOMAIN_FACTOR
+    if dense_affordable and dense_economic:
+        return ExistenceIndex(domain_size)
+    return SparseExistenceIndex(domain_size)
+
+
+def load_existence(payload: bytes):
+    """Restore whichever existence index :meth:`to_bytes` produced."""
+    tag = payload[:1]
+    if tag == b"S":
+        return SparseExistenceIndex.from_bytes(payload)
+    return ExistenceIndex.from_bytes(payload)

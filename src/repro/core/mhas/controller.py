@@ -1,0 +1,143 @@
+"""MHAS controller: an LSTM sampling architectures autoregressively.
+
+As in ENAS (and paper Sec. IV-C2), the controller is an LSTM (64 hidden
+units) that emits one categorical decision per step through a softmax head;
+the sampled decision is embedded and fed back as the next step's input.
+Training is REINFORCE with an exponential-moving-average baseline and an
+entropy bonus; the reward is the negated Eq. 1 size ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ...nn.activations import softmax
+from ...nn.layers import Dense, Embedding, Parameter
+from ...nn.lstm import LSTMCell, LSTMState, StepCache
+from ...nn.optimizers import Adam
+from .search_space import SearchSpace, STOP
+
+__all__ = ["Controller", "Trajectory"]
+
+
+@dataclass
+class Trajectory:
+    """One sampled architecture plus everything needed for REINFORCE."""
+
+    decisions: List[int]
+    log_prob: float
+    entropy: float
+    #: Per-step intermediates: (lstm cache, head input h, probs, action).
+    steps: List[Tuple[StepCache, np.ndarray, np.ndarray, int]]
+
+
+class Controller:
+    """LSTM policy over the MHAS decision sequence."""
+
+    def __init__(self, space: SearchSpace, rng: np.random.Generator):
+        self.space = space
+        hidden = space.config.controller_hidden
+        n_options = space.n_options
+        # Token 0 is the start-of-sequence input; tokens 1.. embed decisions.
+        self.embedding = Embedding(n_options + 1, hidden, rng, name="ctrl.embed")
+        self.cell = LSTMCell(hidden, hidden, rng, name="ctrl.lstm")
+        self.head = Dense(hidden, n_options, rng=rng, activation="linear",
+                          name="ctrl.head")
+        self.optimizer = Adam(space.config.controller_lr)
+        self.baseline: float = 0.0
+        self._baseline_initialized = False
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All trainable controller parameters (theta in Algorithm 2)."""
+        return (self.embedding.parameters() + self.cell.parameters()
+                + self.head.parameters())
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, greedy: bool = False) -> Trajectory:
+        """Sample one architecture (or take the argmax path when greedy)."""
+        state = LSTMState.zero(1, self.space.config.controller_hidden)
+        token = 0
+        decisions: List[int] = []
+        steps: List[Tuple[StepCache, np.ndarray, np.ndarray, int]] = []
+        log_prob = 0.0
+        entropy = 0.0
+        for scope, limit in self.space.scopes:
+            for _ in range(limit):
+                x = self.embedding.forward([token], train=False)
+                state, cache = self.cell.step(x, state)
+                logits = self.head.forward(state.h, train=False)
+                probs = softmax(logits)[0]
+                if greedy:
+                    action = int(probs.argmax())
+                else:
+                    action = int(rng.choice(probs.size, p=probs))
+                log_prob += float(np.log(probs[action] + 1e-12))
+                entropy += float(-(probs * np.log(probs + 1e-12)).sum())
+                decisions.append(action)
+                steps.append((cache, state.h.copy(), probs, action))
+                token = action + 1
+                if action == STOP:
+                    break
+        return Trajectory(decisions=decisions, log_prob=log_prob,
+                          entropy=entropy, steps=steps)
+
+    # ------------------------------------------------------------------
+    def update_baseline(self, reward: float) -> None:
+        """EMA baseline update."""
+        decay = self.space.config.baseline_decay
+        if not self._baseline_initialized:
+            self.baseline = reward
+            self._baseline_initialized = True
+        else:
+            self.baseline = decay * self.baseline + (1 - decay) * reward
+
+    def reinforce(self, trajectories: List[Trajectory],
+                  rewards: List[float]) -> float:
+        """One REINFORCE step over a batch of sampled architectures.
+
+        ``loss = -(reward - baseline) * log pi(a) - beta * H(pi)``;
+        gradients flow through the head, the LSTM (full BPTT), and the
+        decision embeddings.  Returns the mean advantage (diagnostics).
+        """
+        if len(trajectories) != len(rewards):
+            raise ValueError("one reward per trajectory required")
+        beta = self.space.config.entropy_weight
+        advantages = []
+        for trajectory, reward in zip(trajectories, rewards):
+            advantage = reward - self.baseline
+            advantages.append(advantage)
+            self._backprop_trajectory(trajectory, advantage, beta)
+            self.update_baseline(reward)
+        self.optimizer.step(self.parameters())
+        return float(np.mean(advantages)) if advantages else 0.0
+
+    def _backprop_trajectory(self, trajectory: Trajectory, advantage: float,
+                             beta: float) -> None:
+        """Accumulate policy gradients for one trajectory (batch size 1)."""
+        hidden = self.space.config.controller_hidden
+        dh_next = np.zeros((1, hidden), dtype=np.float32)
+        dc_next = np.zeros((1, hidden), dtype=np.float32)
+        steps = trajectory.steps
+        # Walk the steps backwards, chaining gradients through time.
+        for i in range(len(steps) - 1, -1, -1):
+            cache, h, probs, action = steps[i]
+            # d/dlogits of [-adv * log p(a)] is adv * (p - onehot(a)); the
+            # entropy bonus (maximized) contributes beta * p * (log p + H).
+            one_hot = np.zeros_like(probs)
+            one_hot[action] = 1.0
+            dlogits = advantage * (probs - one_hot)
+            if beta > 0.0:
+                log_p = np.log(probs + 1e-12)
+                ent = -(probs * log_p).sum()
+                dlogits += beta * probs * (log_p + ent)
+            dlogits = dlogits.reshape(1, -1).astype(np.float32)
+            self.head.forward(h, train=True)  # re-cache the head input
+            dh = self.head.backward(dlogits) + dh_next
+            dx, dh_next, dc_next = self.cell.backward_step(dh, dc_next, cache)
+            token = 0 if i == 0 else steps[i - 1][3] + 1
+            self.embedding.forward([token], train=True)
+            self.embedding.backward(dx)

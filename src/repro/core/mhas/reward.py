@@ -1,0 +1,96 @@
+"""The MHAS objective (paper Eq. 1) and its fast estimators.
+
+The controller's reward is the *negated* hybrid size ratio::
+
+    ratio = (size(M) + size(T_aux) + size(V_exist) + size(f_decode)) / size(D)
+
+Evaluating a candidate exactly would mean serializing the model and
+rebuilding the auxiliary table per sample; during search we instead
+estimate ``size(M)`` from the parameter count and ``size(T_aux)`` from the
+misclassification rate on a row sample times a measured compressed
+bytes-per-row — cheap enough to score thousands of candidates.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+from ...nn.multitask import ArchitectureSpec, MultiTaskMLP
+from ...storage.serializer import serialize_block
+
+__all__ = [
+    "approx_model_bytes",
+    "measure_aux_bytes_per_row",
+    "estimate_ratio",
+    "flops_per_lookup",
+]
+
+#: Serialization overhead per layer (names, shapes) on top of raw weights.
+_PER_LAYER_OVERHEAD = 120
+
+
+def approx_model_bytes(spec: ArchitectureSpec, weight_dtype_size: int = 2) -> int:
+    """Estimated frozen-model size without serializing it."""
+    n_layers = len(spec.layer_plan())
+    return spec.param_count() * weight_dtype_size + n_layers * _PER_LAYER_OVERHEAD
+
+
+def measure_aux_bytes_per_row(
+    flat_keys: np.ndarray,
+    labels: Dict[str, np.ndarray],
+    sample: int = 2048,
+    level: int = 1,
+) -> float:
+    """Compressed bytes per auxiliary row, measured on a row sample.
+
+    Mirrors how ``T_aux`` stores rows: key plus per-task codes, serialized
+    and compressed with the fast codec.
+    """
+    n = flat_keys.size
+    if n == 0:
+        return 1.0
+    take = min(sample, n)
+    block = {"keys": np.asarray(flat_keys[:take], dtype=np.int64)}
+    for task, codes in labels.items():
+        block[task] = np.asarray(codes[:take], dtype=np.int64)
+    compressed = len(zlib.compress(serialize_block(block), level))
+    return max(compressed / take, 0.25)
+
+
+def estimate_ratio(
+    model: MultiTaskMLP,
+    x: np.ndarray,
+    labels: Dict[str, np.ndarray],
+    n_rows: int,
+    aux_bytes_per_row: float,
+    overhead_bytes: int,
+    dataset_bytes: int,
+    sample_idx: np.ndarray,
+    weight_dtype_size: int = 2,
+) -> float:
+    """Estimated Eq. 1 ratio for a candidate model.
+
+    ``sample_idx`` selects the rows used to estimate the misclassification
+    rate; ``overhead_bytes`` carries the (architecture-independent)
+    ``size(V_exist) + size(f_decode)`` terms.
+    """
+    if dataset_bytes <= 0:
+        raise ValueError("dataset_bytes must be positive")
+    predicted = model.predict_codes(x[sample_idx])
+    mis = np.zeros(sample_idx.size, dtype=bool)
+    for task, lab in labels.items():
+        mis |= predicted[task] != np.asarray(lab)[sample_idx]
+    mis_rate = float(mis.mean()) if sample_idx.size else 0.0
+    model_bytes = approx_model_bytes(model.spec, weight_dtype_size)
+    aux_bytes = mis_rate * n_rows * aux_bytes_per_row
+    return (model_bytes + aux_bytes + overhead_bytes) / dataset_bytes
+
+
+def flops_per_lookup(spec: ArchitectureSpec) -> int:
+    """Multiply-accumulate count of one forward pass — the latency proxy
+    used when plotting the search's compression/latency trade-off
+    (paper Fig. 10)."""
+    return sum(i * o for _, i, o in spec.layer_plan())

@@ -1,0 +1,58 @@
+"""Modification bookkeeping: the lazy-update / retrain policy.
+
+The paper's workflows (Sec. IV-D) absorb insert/update/delete into the
+auxiliary structure and retrain only when it grows past a threshold
+(the evaluation's DM-Z1 variant retrains after 200MB of modifications).
+:class:`ModificationTracker` measures modified bytes since the last build
+and answers "is it time to retrain?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..storage.serializer import serialized_size
+
+__all__ = ["ModificationTracker", "estimate_batch_bytes"]
+
+
+def estimate_batch_bytes(columns: Dict[str, np.ndarray]) -> int:
+    """Serialized size of a modification batch (keys + values)."""
+    return serialized_size({n: np.asarray(v) for n, v in columns.items()})
+
+
+class ModificationTracker:
+    """Counts modified bytes and checks the retrain threshold."""
+
+    def __init__(self, threshold_bytes: Optional[int] = None):
+        if threshold_bytes is not None and threshold_bytes <= 0:
+            raise ValueError("threshold_bytes must be positive or None")
+        self.threshold_bytes = threshold_bytes
+        self.bytes_since_build = 0
+        self.ops_since_build = 0
+        self.total_retrains = 0
+
+    def record(self, batch_bytes: int, n_ops: int = 1) -> None:
+        """Account for one modification batch."""
+        self.bytes_since_build += int(batch_bytes)
+        self.ops_since_build += int(n_ops)
+
+    def should_retrain(self) -> bool:
+        """True when accumulated modifications exceed the threshold."""
+        if self.threshold_bytes is None:
+            return False
+        return self.bytes_since_build >= self.threshold_bytes
+
+    def mark_rebuilt(self) -> None:
+        """Reset counters after a retrain."""
+        self.bytes_since_build = 0
+        self.ops_since_build = 0
+        self.total_retrains += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ModificationTracker(bytes={self.bytes_since_build}, "
+            f"threshold={self.threshold_bytes}, retrains={self.total_retrains})"
+        )

@@ -1,0 +1,21 @@
+"""Data substrate: tables, encoders, and the paper's dataset generators."""
+
+from . import crop, synthetic, tpcds, tpch
+from .encoding import CompositeKeyCodec, DecodeMap, KeyEncoder, ValueEncoder
+from .schema import ColumnSpec, ColumnType, Schema
+from .table import ColumnTable
+
+__all__ = [
+    "ColumnTable",
+    "ColumnSpec",
+    "ColumnType",
+    "Schema",
+    "CompositeKeyCodec",
+    "KeyEncoder",
+    "ValueEncoder",
+    "DecodeMap",
+    "tpch",
+    "tpcds",
+    "synthetic",
+    "crop",
+]

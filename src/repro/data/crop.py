@@ -1,0 +1,82 @@
+"""Synthetic CroplandCROS-style crop raster (paper Sec. V-A1).
+
+The paper samples a region of the USDA CroplandCROS layer: an image where
+each pixel is a crop type, flattened to a three-column table
+``(latitude, longitude, crop_type)``.  That data requires an online
+download, so this module synthesizes a raster with the property the
+experiment actually exercises: *strong spatial autocorrelation* (fields are
+contiguous patches, so crop type is highly predictable from position) over
+a large composite key domain, with a skewed crop distribution like the real
+corn/soy-dominated layer.
+
+The raster is a patchwork of rectangular field cells, each assigned a crop
+class drawn from a skewed area distribution — the blocky patch structure of
+real cropland imagery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import ColumnTable
+
+__all__ = ["generate", "CROP_TYPES"]
+
+#: Crop classes with a skewed area distribution (corn/soy dominate, like CDL).
+CROP_TYPES = np.array(
+    ["corn", "soybeans", "winter_wheat", "alfalfa", "cotton",
+     "spring_wheat", "sorghum", "barley", "rice", "fallow"])
+
+#: Per-class area shares (corn and soybeans dominate, like the real CDL).
+_AREA_SHARES = np.array(
+    [0.30, 0.25, 0.13, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01])
+
+
+def _patchwork(height: int, width: int, cell: int,
+               rng: np.random.Generator) -> np.ndarray:
+    """Crop-class raster made of contiguous rectangular field patches.
+
+    One class is drawn per coarse cell from the skewed area distribution,
+    then upsampled to pixel resolution — the blocky patch structure of
+    real cropland imagery.
+    """
+    rows = (height + cell - 1) // cell
+    cols = (width + cell - 1) // cell
+    coarse = rng.choice(_AREA_SHARES.size, size=(rows, cols), p=_AREA_SHARES)
+    field = np.repeat(np.repeat(coarse, cell, axis=0), cell, axis=1)
+    return field[:height, :width]
+
+
+def generate(
+    height: int = 200,
+    width: int = 200,
+    seed: int = 0,
+    smoothness: int = 10,
+) -> ColumnTable:
+    """Generate a crop raster flattened to (lat, lon, crop_type) rows.
+
+    Parameters
+    ----------
+    height, width:
+        Raster dimensions; the table has ``height * width`` rows with the
+        composite key ``(lat, lon)``.
+    seed:
+        Generation seed.
+    smoothness:
+        Field-patch edge length in pixels; larger values give bigger
+        contiguous fields (more spatial correlation, more compressible).
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("raster dimensions must be positive")
+    rng = np.random.default_rng((seed, 0xC50))
+    classes = _patchwork(height, width, max(1, smoothness), rng).reshape(-1)
+    lat, lon = np.divmod(np.arange(height * width, dtype=np.int64), width)
+    return ColumnTable(
+        {
+            "lat": lat,
+            "lon": lon,
+            "crop_type": CROP_TYPES[classes],
+        },
+        key=("lat", "lon"),
+        name="crop",
+    )

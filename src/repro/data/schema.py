@@ -1,0 +1,78 @@
+"""Relational schema descriptions for the generated datasets.
+
+The paper's problem statement (Sec. III) concerns relations
+``R(K1..Kl, V1..Vm)`` with discrete key and value attributes (float columns
+are removed from the benchmarks).  :class:`Schema` captures that shape:
+which columns form the key and the type/cardinality of each value column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Tuple
+
+__all__ = ["ColumnType", "ColumnSpec", "Schema"]
+
+
+class ColumnType(Enum):
+    """Discrete column types supported by the reproduction."""
+
+    INTEGER = "integer"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of one column."""
+
+    name: str
+    ctype: ColumnType
+    #: Distinct-value count (0 = unknown / unbounded, e.g. surrogate keys).
+    cardinality: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A relation schema: named columns plus the key-column subset."""
+
+    name: str
+    columns: Tuple[ColumnSpec, ...]
+    key: Tuple[str, ...]
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+        missing = [k for k in self.key if k not in names]
+        if missing:
+            raise ValueError(f"key columns not in schema: {missing}")
+        if not self.key:
+            raise ValueError("schema requires at least one key column")
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """All column names in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def value_columns(self) -> Tuple[str, ...]:
+        """Non-key column names in declaration order."""
+        return tuple(n for n in self.column_names if n not in self.key)
+
+    def spec(self, name: str) -> ColumnSpec:
+        """Look up a column by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"no column named {name!r} in schema {self.name!r}")
+
+    def by_name(self) -> Dict[str, ColumnSpec]:
+        """Dict view of the columns."""
+        return {c.name: c for c in self.columns}

@@ -1,0 +1,178 @@
+"""The paper's synthetic low/high-correlation datasets (Sec. V-A1).
+
+Four suites, mirroring the paper:
+
+- ``single_column(correlation="low")`` — <key, status> pairs in the image of
+  TPC-H ``<OrderKey, OrderStatus>``: the value is independent of the key
+  (the paper measures Pearson ~1e-4 there).
+- ``single_column(correlation="high")`` — in the image of TPC-DS
+  ``CD_Education_Status``: the value follows a periodic pattern along the
+  key dimension.
+- ``multi_column(...)`` — same two regimes with several value columns
+  (lineitem-like for low, customer_demographics-like for high).
+
+Each generator accepts ``start_key`` so the insertion experiments
+(Tables III/IV) can extend an existing table with new keys drawn from either
+distribution — ``insert_batch`` wraps that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._patterns import mixed_radix_column, noisy_choice, structured_column
+from .table import ColumnTable
+
+__all__ = ["single_column", "multi_column", "insert_batch", "key_value_pearson"]
+
+_STATUS = np.array(["F", "O", "P"])
+_EDUCATION = np.array(
+    ["2 yr Degree", "4 yr Degree", "Advanced Degree", "College",
+     "Primary", "Secondary", "Unknown"])
+_MULTI_HIGH_RADICES = np.array([2, 5, 7, 4], dtype=np.int64)
+_MULTI_LOW_CARDS = (3, 2, 7, 50)
+
+
+def _check_correlation(correlation: str) -> None:
+    if correlation not in ("low", "high"):
+        raise ValueError("correlation must be 'low' or 'high'")
+
+
+def _choose_keys(n: int, start_key: int, domain_factor: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Sorted unique keys; ``domain_factor > 1`` leaves gaps for inserts."""
+    if domain_factor < 1.0:
+        raise ValueError("domain_factor must be >= 1")
+    if domain_factor == 1.0:
+        return np.arange(start_key, start_key + n, dtype=np.int64)
+    domain = int(n * domain_factor)
+    picked = rng.choice(domain, size=n, replace=False)
+    return np.sort(picked).astype(np.int64) + start_key
+
+
+def single_column(
+    n: int,
+    correlation: str = "low",
+    seed: int = 0,
+    start_key: int = 0,
+    domain_factor: float = 1.0,
+) -> ColumnTable:
+    """Single value column with the requested key-value correlation."""
+    _check_correlation(correlation)
+    rng = np.random.default_rng((seed, 0 if correlation == "low" else 1))
+    keys = _choose_keys(n, start_key, domain_factor, rng)
+    if correlation == "low":
+        value = _STATUS[noisy_choice(n, 3, rng)]
+        name = "synthetic_single_low"
+    else:
+        codes = structured_column(keys, _EDUCATION.size, period=64, noise=0.01,
+                                  rng=rng)
+        value = _EDUCATION[codes]
+        name = "synthetic_single_high"
+    return ColumnTable({"key": keys, "value": value}, key=("key",), name=name)
+
+
+def multi_column(
+    n: int,
+    correlation: str = "low",
+    seed: int = 0,
+    start_key: int = 0,
+    domain_factor: float = 1.0,
+) -> ColumnTable:
+    """Four value columns with the requested key-value correlation."""
+    _check_correlation(correlation)
+    rng = np.random.default_rng((seed, 2 if correlation == "low" else 3))
+    keys = _choose_keys(n, start_key, domain_factor, rng)
+    columns = {"key": keys}
+    if correlation == "low":
+        # lineitem-like: columns independent of the key.
+        for i, card in enumerate(_MULTI_LOW_CARDS):
+            columns[f"v{i}"] = noisy_choice(n, card, rng)
+        name = "synthetic_multi_low"
+    else:
+        # customer_demographics-like: mixed-radix digits of the key.
+        for i in range(_MULTI_HIGH_RADICES.size):
+            columns[f"v{i}"] = mixed_radix_column(keys, _MULTI_HIGH_RADICES, i)
+        name = "synthetic_multi_high"
+    return ColumnTable(columns, key=("key",), name=name)
+
+
+def insert_batch(
+    base: ColumnTable,
+    n: int,
+    correlation: str,
+    seed: int = 1,
+    mode: str = "append",
+) -> ColumnTable:
+    """New rows to insert into a synthetic base table.
+
+    ``correlation`` selects the distribution of the *new* values — matching
+    the base table reproduces Table III, crossing distributions reproduces
+    Table IV.  ``mode`` picks the keys:
+
+    - ``"append"``: keys continue past the base range (monotone load);
+    - ``"gaps"``: unseen keys sampled from holes inside the base key
+      domain — the paper's "following the underlying distribution" case,
+      where a trained model has a chance to generalize to the inserts.
+    """
+    if mode not in ("append", "gaps"):
+        raise ValueError("mode must be 'append' or 'gaps'")
+    existing = np.asarray(base.column(base.key[0]), dtype=np.int64)
+    if mode == "append":
+        keys = np.arange(n, dtype=np.int64) + int(existing.max()) + 1
+    else:
+        lo, hi = int(existing.min()), int(existing.max())
+        holes = np.setdiff1d(np.arange(lo, hi + 1, dtype=np.int64), existing)
+        if holes.size < n:
+            extra = np.arange(hi + 1, hi + 1 + (n - holes.size),
+                              dtype=np.int64)
+            holes = np.concatenate([holes, extra])
+        rng = np.random.default_rng((seed, 0x6A95))
+        keys = np.sort(rng.choice(holes, size=n, replace=False))
+    return _rows_for_keys(base, keys, correlation, seed)
+
+
+def _rows_for_keys(base: ColumnTable, keys: np.ndarray, correlation: str,
+                   seed: int) -> ColumnTable:
+    """Synthesize value columns for chosen keys under a distribution."""
+    _check_correlation(correlation)
+    rng = np.random.default_rng((seed, 0x517))
+    n = keys.size
+    if set(base.column_names) == {"key", "value"}:
+        if correlation == "low":
+            value = _STATUS[noisy_choice(n, 3, rng)]
+        else:
+            codes = structured_column(keys, _EDUCATION.size, period=64,
+                                      noise=0.01, rng=rng)
+            value = _EDUCATION[codes]
+        return ColumnTable({"key": keys, "value": value}, key=("key",),
+                           name=base.name)
+    columns = {"key": keys}
+    if correlation == "low":
+        for i, card in enumerate(_MULTI_LOW_CARDS):
+            columns[f"v{i}"] = noisy_choice(n, card, rng)
+    else:
+        for i in range(_MULTI_HIGH_RADICES.size):
+            columns[f"v{i}"] = mixed_radix_column(keys, _MULTI_HIGH_RADICES, i)
+    if set(columns) != set(base.column_names):
+        raise ValueError("base table is not a synthetic single/multi table")
+    return ColumnTable(columns, key=("key",), name=base.name)
+
+
+def key_value_pearson(table: ColumnTable) -> float:
+    """Mean |Pearson correlation| between the flattened key and each value
+    column (categorical values are rank-coded) — the statistic the paper
+    quotes to characterize its synthetic suites."""
+    key = table.column(table.key[0]).astype(np.float64)
+    corrs = []
+    for name in table.value_columns:
+        col = table.column(name)
+        if col.dtype.kind in "US" or col.dtype == object:
+            _, codes = np.unique(col, return_inverse=True)
+            col = codes
+        col = col.astype(np.float64)
+        if col.std() == 0 or key.std() == 0:
+            corrs.append(0.0)
+            continue
+        corrs.append(abs(float(np.corrcoef(key, col)[0, 1])))
+    return float(np.mean(corrs)) if corrs else 0.0

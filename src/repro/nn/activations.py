@@ -1,0 +1,61 @@
+"""Activation functions with explicit derivatives.
+
+The substrate is deliberately small: the paper's models are sequences of
+fully connected layers with ReLU hidden activations and softmax outputs;
+sigmoid/tanh exist for the LSTM controller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relu", "relu_grad", "sigmoid", "sigmoid_grad", "tanh", "tanh_grad",
+           "softmax", "log_softmax"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU w.r.t. its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid expressed in terms of its *output* ``y``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed in terms of its *output* ``y``."""
+    return 1.0 - y * y
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

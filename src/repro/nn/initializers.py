@@ -1,0 +1,41 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "orthogonal", "zeros", "uniform"]
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization — the standard choice for the
+    fully connected layers the paper's search space is made of."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def orthogonal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialization (used for LSTM recurrent weights)."""
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.standard_normal((size, size))
+    q, _ = np.linalg.qr(matrix)
+    return q[:rows, :cols].astype(np.float32)
+
+
+def uniform(shape, rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
+    """Uniform ``N(0, scale^2)``-style init: the paper initialises the MHAS
+    controller parameters uniformly with sigma 0.05 (Sec. V-A6)."""
+    return rng.uniform(-scale, scale, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initializer (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def _fans(shape) -> tuple:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

@@ -1,0 +1,158 @@
+"""Parameters and layers with hand-written backpropagation.
+
+The MHAS search (paper Sec. IV-C) shares layer weights across sampled
+architectures, ENAS-style.  To support that, weights live in standalone
+:class:`Parameter` objects that multiple sampled models may reference; the
+optimizer keys its state by parameter identity, so training any sampled model
+advances the shared weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .activations import relu, relu_grad
+from .initializers import glorot_uniform, zeros
+
+__all__ = ["Parameter", "Dense", "Embedding"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of scalar weights."""
+        return int(self.value.size)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Dense:
+    """Fully connected layer ``y = act(x W + b)``.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Layer shape.
+    rng:
+        Generator for Glorot initialization (ignored when ``weight``/``bias``
+        are supplied, which is how the MHAS weight bank shares parameters).
+    activation:
+        ``"relu"`` for hidden layers, ``"linear"`` for output layers.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+        weight: Optional[Parameter] = None,
+        bias: Optional[Parameter] = None,
+        name: str = "dense",
+    ):
+        if activation not in ("relu", "linear"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        if weight is None or bias is None:
+            if rng is None:
+                raise ValueError("rng is required when weights are not supplied")
+            weight = Parameter(glorot_uniform((in_dim, out_dim), rng), f"{name}.W")
+            bias = Parameter(zeros(out_dim), f"{name}.b")
+        if weight.value.shape != (in_dim, out_dim):
+            raise ValueError(
+                f"weight shape {weight.value.shape} != ({in_dim}, {out_dim})"
+            )
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.weight = weight
+        self.bias = bias
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Forward pass; caches inputs for :meth:`backward` when ``train``."""
+        pre = x @ self.weight.value + self.bias.value
+        out = relu(pre) if self.activation == "relu" else pre
+        if train:
+            self._x = x
+            self._pre = pre
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backprop ``dout`` (dL/dy); accumulates grads, returns dL/dx."""
+        if self._x is None or self._pre is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        if self.activation == "relu":
+            dout = dout * relu_grad(self._pre)
+        self.weight.grad += self._x.T @ dout
+        self.bias.grad += dout.sum(axis=0)
+        dx = dout @ self.weight.value.T
+        self._x = None
+        self._pre = None
+        return dx
+
+    def parameters(self) -> List[Parameter]:
+        """This layer's trainable parameters."""
+        return [self.weight, self.bias]
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_dim}->{self.out_dim}, {self.activation})"
+
+
+class Embedding:
+    """Lookup-table embedding, used by the MHAS controller to feed the
+    previous architectural decision back into the LSTM."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: np.random.Generator,
+        name: str = "embedding",
+    ):
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.table = Parameter(
+            glorot_uniform((num_embeddings, dim), rng), f"{name}.table"
+        )
+        self._idx: Optional[np.ndarray] = None
+
+    def forward(self, indices, train: bool = True) -> np.ndarray:
+        """Rows of the table selected by ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        if train:
+            self._idx = idx
+        return self.table.value[idx]
+
+    def backward(self, dout: np.ndarray) -> None:
+        """Scatter-add gradients back into the table."""
+        if self._idx is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        np.add.at(self.table.grad, self._idx, dout)
+        self._idx = None
+
+    def parameters(self) -> List[Parameter]:
+        """This layer's trainable parameters."""
+        return [self.table]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}x{self.dim})"

@@ -1,0 +1,54 @@
+"""Loss functions (value + input gradient in one call).
+
+The paper trains memorization models with standard cross entropy
+(Sec. IV-C2) and the DeepSqueeze baseline's autoencoder with MSE.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .activations import log_softmax, softmax
+
+__all__ = ["softmax_cross_entropy", "mse", "accuracy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross entropy of integer ``labels`` under ``softmax(logits)``.
+
+    Returns ``(loss, dlogits)`` where ``dlogits`` is the gradient of the
+    *mean* loss w.r.t. the logits.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    logp = log_softmax(logits)
+    loss = float(-logp[np.arange(n), labels].mean())
+    dlogits = softmax(logits)
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff * diff))
+    dpred = (2.0 / diff.size) * diff
+    return loss, dpred
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    if logits.shape[0] == 0:
+        return 1.0
+    return float((logits.argmax(axis=1) == np.asarray(labels)).mean())

@@ -1,0 +1,142 @@
+"""LSTM cell with backpropagation through time.
+
+The MHAS controller (paper Sec. IV-C2, following ENAS) is an LSTM with 64
+hidden units that emits architectural decisions autoregressively.  The cell
+here provides the ``step`` / ``backward_step`` pair the controller's
+REINFORCE update needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .activations import sigmoid, sigmoid_grad, tanh, tanh_grad
+from .initializers import glorot_uniform, orthogonal, zeros
+from .layers import Parameter
+
+__all__ = ["LSTMCell", "LSTMState", "StepCache"]
+
+
+@dataclass
+class LSTMState:
+    """Hidden and cell state of one LSTM layer."""
+
+    h: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def zero(cls, batch: int, hidden: int) -> "LSTMState":
+        """All-zeros initial state."""
+        return cls(
+            h=np.zeros((batch, hidden), dtype=np.float32),
+            c=np.zeros((batch, hidden), dtype=np.float32),
+        )
+
+
+@dataclass
+class StepCache:
+    """Intermediates of one forward step, consumed by ``backward_step``."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMCell:
+    """Single-layer LSTM cell.
+
+    Gate layout in the fused weight matrices is ``[i | f | g | o]``.  The
+    forget-gate bias is initialised to 1.0 (standard practice, keeps memory
+    open early in training).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator,
+                 name: str = "lstm"):
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x = Parameter(glorot_uniform((input_dim, 4 * hidden_dim), rng),
+                             f"{name}.Wx")
+        self.w_h = Parameter(orthogonal((hidden_dim, 4 * hidden_dim), rng),
+                             f"{name}.Wh")
+        bias = zeros(4 * hidden_dim)
+        bias[hidden_dim: 2 * hidden_dim] = 1.0  # forget gate
+        self.b = Parameter(bias, f"{name}.b")
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, state: LSTMState) -> Tuple[LSTMState, StepCache]:
+        """One forward step; returns the next state and a backprop cache."""
+        h_dim = self.hidden_dim
+        gates = x @ self.w_x.value + state.h @ self.w_h.value + self.b.value
+        i = sigmoid(gates[:, :h_dim])
+        f = sigmoid(gates[:, h_dim: 2 * h_dim])
+        g = tanh(gates[:, 2 * h_dim: 3 * h_dim])
+        o = sigmoid(gates[:, 3 * h_dim:])
+        c = f * state.c + i * g
+        tanh_c = tanh(c)
+        h = o * tanh_c
+        cache = StepCache(x=x, h_prev=state.h, c_prev=state.c,
+                          i=i, f=f, g=g, o=o, c=c, tanh_c=tanh_c)
+        return LSTMState(h=h, c=c), cache
+
+    def backward_step(
+        self, dh: np.ndarray, dc: np.ndarray, cache: StepCache
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backprop one step.
+
+        Parameters are gradients of the loss w.r.t. this step's ``h`` and
+        ``c`` outputs; returns ``(dx, dh_prev, dc_prev)`` and accumulates
+        parameter gradients.
+        """
+        do = dh * cache.tanh_c
+        dc_total = dc + dh * cache.o * tanh_grad(cache.tanh_c)
+        di = dc_total * cache.g
+        df = dc_total * cache.c_prev
+        dg = dc_total * cache.i
+        dc_prev = dc_total * cache.f
+
+        dgates = np.concatenate(
+            [
+                di * sigmoid_grad(cache.i),
+                df * sigmoid_grad(cache.f),
+                dg * tanh_grad(cache.g),
+                do * sigmoid_grad(cache.o),
+            ],
+            axis=1,
+        ).astype(np.float32)
+
+        self.w_x.grad += cache.x.T @ dgates
+        self.w_h.grad += cache.h_prev.T @ dgates
+        self.b.grad += dgates.sum(axis=0)
+        dx = dgates @ self.w_x.value.T
+        dh_prev = dgates @ self.w_h.value.T
+        return dx, dh_prev, dc_prev
+
+    def run_sequence(
+        self, xs: List[np.ndarray], state: LSTMState
+    ) -> Tuple[List[LSTMState], List[StepCache]]:
+        """Convenience: run ``step`` over a list of inputs."""
+        states: List[LSTMState] = []
+        caches: List[StepCache] = []
+        for x in xs:
+            state, cache = self.step(x, state)
+            states.append(state)
+            caches.append(cache)
+        return states, caches
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of the cell."""
+        return [self.w_x, self.w_h, self.b]
+
+    def __repr__(self) -> str:
+        return f"LSTMCell({self.input_dim}->{self.hidden_dim})"

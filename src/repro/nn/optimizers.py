@@ -1,0 +1,122 @@
+"""Optimizers over :class:`~repro.nn.layers.Parameter` objects.
+
+State is keyed by parameter identity so that the MHAS weight bank (where
+many sampled architectures share the same :class:`Parameter`) accumulates
+consistent Adam moments across sampling iterations — the mechanism behind
+ENAS-style parameter sharing that the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "ExponentialDecay"]
+
+
+class ExponentialDecay:
+    """Learning-rate schedule ``lr = initial * decay**steps``.
+
+    The paper trains memorization models at lr 0.001 decayed by 0.999
+    per iteration (Sec. V-A6).
+    """
+
+    def __init__(self, initial: float, decay: float = 1.0, minimum: float = 0.0):
+        if initial <= 0:
+            raise ValueError("initial learning rate must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.initial = initial
+        self.decay = decay
+        self.minimum = minimum
+        self.steps = 0
+
+    def current(self) -> float:
+        """Learning rate for the current step."""
+        return max(self.minimum, self.initial * self.decay**self.steps)
+
+    def advance(self) -> float:
+        """Return the current rate, then advance the schedule."""
+        rate = self.current()
+        self.steps += 1
+        return rate
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`_update`."""
+
+    def __init__(self, lr: "float | ExponentialDecay" = 0.001):
+        self.schedule = lr if isinstance(lr, ExponentialDecay) else ExponentialDecay(lr)
+
+    def step(self, params: Iterable[Parameter]) -> None:
+        """Apply one update to every parameter, then zero their grads."""
+        rate = self.schedule.advance()
+        for param in params:
+            self._update(param, rate)
+            param.zero_grad()
+
+    def _update(self, param: Parameter, rate: float) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: "float | ExponentialDecay" = 0.01, momentum: float = 0.0):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, Tuple[Parameter, np.ndarray]] = {}
+
+    def _update(self, param: Parameter, rate: float) -> None:
+        if self.momentum == 0.0:
+            param.value -= rate * param.grad
+            return
+        key = id(param)
+        entry = self._velocity.get(key)
+        if entry is None:
+            velocity = np.zeros_like(param.value)
+        else:
+            velocity = entry[1]
+        velocity = self.momentum * velocity + param.grad
+        self._velocity[key] = (param, velocity)
+        param.value -= rate * velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the optimizer the paper uses for both the
+    memorization models and the MHAS controller."""
+
+    def __init__(
+        self,
+        lr: "float | ExponentialDecay" = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._state: Dict[int, Tuple[Parameter, np.ndarray, np.ndarray, int]] = {}
+
+    def _update(self, param: Parameter, rate: float) -> None:
+        key = id(param)
+        entry = self._state.get(key)
+        if entry is None:
+            m = np.zeros_like(param.value)
+            v = np.zeros_like(param.value)
+            t = 0
+        else:
+            _, m, v, t = entry
+        t += 1
+        m = self.beta1 * m + (1.0 - self.beta1) * param.grad
+        v = self.beta2 * v + (1.0 - self.beta2) * (param.grad * param.grad)
+        self._state[key] = (param, m, v, t)
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param.value -= rate * m_hat / (np.sqrt(v_hat) + self.eps)

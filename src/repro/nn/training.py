@@ -1,0 +1,111 @@
+"""Mini-batch training loop for memorization models.
+
+Implements the paper's model-training iterations (Algorithm 2's inner loop):
+shuffled mini-batches, Adam with exponentially decayed learning rate, and
+early stopping once the absolute epoch-loss delta falls under a tolerance
+(the paper uses 1e-4, Sec. V-A6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .multitask import MultiTaskMLP
+from .optimizers import Adam, Optimizer
+
+__all__ = ["TrainingResult", "Trainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a :meth:`Trainer.fit` call."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+    converged: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last completed epoch (inf when none ran)."""
+        return self.epoch_losses[-1] if self.epoch_losses else float("inf")
+
+
+class Trainer:
+    """Trains a :class:`~repro.nn.multitask.MultiTaskMLP` to memorize data.
+
+    Parameters
+    ----------
+    model:
+        The network to train.
+    optimizer:
+        Defaults to Adam at the paper's settings (lr 0.001, decay handled
+        by the caller through the schedule).
+    batch_size:
+        Paper default is 16384 for model training; tests use smaller.
+    tol:
+        Early-stopping tolerance on the absolute epoch-loss delta.
+    rng:
+        Shuffling generator (deterministic by default).
+    """
+
+    def __init__(
+        self,
+        model: MultiTaskMLP,
+        optimizer: Optional[Optimizer] = None,
+        batch_size: int = 16384,
+        tol: float = 1e-4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else Adam(0.001)
+        self.batch_size = batch_size
+        self.tol = tol
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: Dict[str, np.ndarray],
+        epochs: int,
+        shuffle: bool = True,
+    ) -> TrainingResult:
+        """Run up to ``epochs`` passes over ``(x, labels)``.
+
+        Returns the per-epoch loss history; stops early when the loss delta
+        between consecutive epochs drops below ``tol``.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        n = x.shape[0]
+        for task, lab in labels.items():
+            if len(lab) != n:
+                raise ValueError(f"labels for task {task!r} have wrong length")
+        result = TrainingResult()
+        if n == 0:
+            result.converged = True
+            return result
+
+        params = self.model.parameters()
+        previous = None
+        for _ in range(epochs):
+            order = self.rng.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start: start + self.batch_size]
+                batch_labels = {t: np.asarray(lab)[idx] for t, lab in labels.items()}
+                epoch_loss += self.model.loss_and_grad(x[idx], batch_labels)
+                self.optimizer.step(params)
+                batches += 1
+            epoch_loss /= batches
+            result.epoch_losses.append(epoch_loss)
+            result.epochs_run += 1
+            if previous is not None and abs(previous - epoch_loss) < self.tol:
+                result.converged = True
+                break
+            previous = epoch_loss
+        return result

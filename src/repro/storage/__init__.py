@@ -1,0 +1,54 @@
+"""Storage substrate: bit vectors, codecs, partitions, buffer pool, disk.
+
+These are the building blocks under both the DeepMapping hybrid structure
+and every baseline in the paper's evaluation.
+"""
+
+from .bitvector import BitVector
+from .buffer_pool import BufferPool, MemoryBudgetError
+from .codecs import (
+    Codec,
+    GzipCodec,
+    IdentityCodec,
+    LzmaCodec,
+    ZstdCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from .disk import DiskStore
+from .partition import PartitionMeta, SortedPartitionStore
+from .serializer import (
+    deserialize_block,
+    dictionary_decode,
+    dictionary_encode,
+    minimal_int_dtype,
+    serialize_block,
+    serialized_size,
+)
+from .stats import Stopwatch, StoreStats
+
+__all__ = [
+    "BitVector",
+    "BufferPool",
+    "MemoryBudgetError",
+    "Codec",
+    "IdentityCodec",
+    "GzipCodec",
+    "ZstdCodec",
+    "LzmaCodec",
+    "get_codec",
+    "available_codecs",
+    "register_codec",
+    "DiskStore",
+    "PartitionMeta",
+    "SortedPartitionStore",
+    "serialize_block",
+    "deserialize_block",
+    "dictionary_encode",
+    "dictionary_decode",
+    "minimal_int_dtype",
+    "serialized_size",
+    "Stopwatch",
+    "StoreStats",
+]

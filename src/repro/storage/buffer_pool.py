@@ -1,0 +1,151 @@
+"""LRU buffer pool with a byte budget.
+
+This is the reproduction's stand-in for the paper's three hardware tiers
+(AWS t2-medium / g4dn.xlarge / A10 server).  What distinguishes those tiers
+for the evaluated workloads is whether a representation fits the available
+memory pool; here the pool budget is an explicit number of bytes.  When a
+store's partitions exceed the budget, the pool evicts the least recently used
+partition, and the next access pays disk I/O + decompression again — exactly
+the cost the paper's Table I measures and DeepMapping avoids.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from .stats import StoreStats
+
+__all__ = ["BufferPool", "MemoryBudgetError"]
+
+
+class MemoryBudgetError(MemoryError):
+    """Raised when a single object cannot fit the pool even when empty.
+
+    Stores that must materialize such objects (e.g. the DeepSqueeze decoder
+    output) surface this as the paper's "failed" / OOM entries.
+    """
+
+
+class BufferPool:
+    """Byte-budgeted LRU cache of deserialized partitions.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total size of cached objects.  ``None`` means unbounded
+        (the paper's "dataset fits memory" configurations).
+    stats:
+        Optional stats sink.  Counters: ``pool_hits``, ``pool_misses``,
+        ``pool_evictions``.  The loader itself should record its own
+        ``io`` / ``decompress`` / ``deserialize`` timers.
+    strict:
+        When True, an object larger than the whole budget raises
+        :class:`MemoryBudgetError` instead of being passed through uncached.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        stats: Optional[StoreStats] = None,
+        strict: bool = False,
+    ):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive or None")
+        self.budget_bytes = budget_bytes
+        self.stats = stats if stats is not None else StoreStats()
+        self.strict = strict
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._used_bytes = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, loader: Callable[[], Tuple[Any, int]]) -> Any:
+        """Return the object cached under ``key``, loading it on a miss.
+
+        ``loader`` must return ``(object, size_bytes)``.  On a miss the
+        loaded object is inserted and LRU entries are evicted until the
+        budget holds.  Objects larger than the entire budget are returned
+        uncached (or raise, under ``strict``), mirroring a scan that streams
+        through memory without being retainable.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.bump("pool_hits")
+            return entry[0]
+
+        self.stats.bump("pool_misses")
+        obj, size = loader()
+        size = int(size)
+        if self.budget_bytes is not None and size > self.budget_bytes:
+            if self.strict:
+                raise MemoryBudgetError(
+                    f"object of {size} bytes exceeds pool budget "
+                    f"of {self.budget_bytes} bytes"
+                )
+            return obj
+        self._insert(key, obj, size)
+        return obj
+
+    def put(self, key: Hashable, obj: Any, size: int) -> None:
+        """Insert (or replace) an entry directly."""
+        if key in self._entries:
+            self.invalidate(key)
+        if self.budget_bytes is not None and size > self.budget_bytes:
+            if self.strict:
+                raise MemoryBudgetError(
+                    f"object of {size} bytes exceeds pool budget "
+                    f"of {self.budget_bytes} bytes"
+                )
+            return
+        self._insert(key, obj, int(size))
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` from the cache if present."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used_bytes -= entry[1]
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._entries.clear()
+        self._used_bytes = 0
+
+    def cached_keys(self):
+        """Keys currently cached, least recently used first."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Hashable, obj: Any, size: int) -> None:
+        self._entries[key] = (obj, size)
+        self._used_bytes += size
+        self._evict_to_budget()
+        self.peak_bytes = max(self.peak_bytes, self._used_bytes)
+
+    def _evict_to_budget(self) -> None:
+        if self.budget_bytes is None:
+            return
+        while self._used_bytes > self.budget_bytes and self._entries:
+            _, (_, size) = self._entries.popitem(last=False)
+            self._used_bytes -= size
+            self.stats.bump("pool_evictions")
+
+    def __repr__(self) -> str:
+        budget = "unbounded" if self.budget_bytes is None else f"{self.budget_bytes}B"
+        return (
+            f"BufferPool(budget={budget}, used={self._used_bytes}B, "
+            f"entries={len(self._entries)})"
+        )

@@ -1,0 +1,117 @@
+"""On-disk partition storage.
+
+Partitions (compressed byte blobs) live in a directory, one file each.  The
+paper's small-machine experiments hinge on the cost of bringing partitions
+from disk back into a constrained memory pool; :class:`DiskStore` charges
+that I/O against a :class:`~repro.storage.stats.StoreStats` timer so the
+benchmark harness can report it (Figure 7's "data loading" bucket).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Iterator, Optional
+
+from .stats import StoreStats
+
+__all__ = ["DiskStore"]
+
+
+class DiskStore:
+    """A flat directory of named byte blobs.
+
+    Parameters
+    ----------
+    directory:
+        Where blobs are stored.  When ``None`` a private temporary directory
+        is created and removed on :meth:`close`.
+    stats:
+        Optional shared stats sink; reads are timed under ``"io"``.
+    """
+
+    def __init__(self, directory: Optional[str] = None, stats: Optional[StoreStats] = None):
+        if directory is None:
+            self._directory = tempfile.mkdtemp(prefix="repro-diskstore-")
+            self._owns_directory = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._directory = directory
+            self._owns_directory = False
+        self.stats = stats if stats is not None else StoreStats()
+        self._sizes: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        """Directory backing this store."""
+        return self._directory
+
+    def path(self, name: str) -> str:
+        """Filesystem path for blob ``name``."""
+        safe = name.replace(os.sep, "_")
+        return os.path.join(self._directory, safe)
+
+    def write(self, name: str, payload: bytes) -> int:
+        """Store ``payload`` under ``name``; returns the byte count."""
+        with open(self.path(name), "wb") as handle:
+            handle.write(payload)
+        self._sizes[name] = len(payload)
+        return len(payload)
+
+    def read(self, name: str) -> bytes:
+        """Read blob ``name``; raises ``KeyError`` if absent."""
+        try:
+            with self.stats.timing("io"):
+                with open(self.path(name), "rb") as handle:
+                    payload = handle.read()
+        except FileNotFoundError:
+            raise KeyError(f"no blob named {name!r} in {self._directory}") from None
+        self.stats.bump("blobs_read")
+        self.stats.bump("bytes_read", len(payload))
+        return payload
+
+    def delete(self, name: str) -> None:
+        """Remove blob ``name`` if present."""
+        try:
+            os.remove(self.path(name))
+        except FileNotFoundError:
+            pass
+        self._sizes.pop(name, None)
+
+    def exists(self, name: str) -> bool:
+        """True when a blob named ``name`` is stored."""
+        return os.path.exists(self.path(name))
+
+    def names(self) -> Iterator[str]:
+        """Iterate over stored blob names."""
+        return iter(sorted(os.listdir(self._directory)))
+
+    def size(self, name: str) -> int:
+        """Stored byte count of blob ``name``."""
+        if name in self._sizes:
+            return self._sizes[name]
+        return os.path.getsize(self.path(name))
+
+    def total_bytes(self) -> int:
+        """Total on-disk footprint of all blobs."""
+        return sum(
+            os.path.getsize(os.path.join(self._directory, f))
+            for f in os.listdir(self._directory)
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Remove the backing directory when this store owns it."""
+        if self._owns_directory and os.path.isdir(self._directory):
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+    def __enter__(self) -> "DiskStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"DiskStore({self._directory!r}, blobs={len(list(self.names()))})"

@@ -1,0 +1,113 @@
+"""Tests for the array-based baselines (AB / ABC-*)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArrayStore
+from repro.data import ColumnTable, synthetic, tpch
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.multi_column(2000, "low")
+
+
+class TestBuildLookup:
+    def test_exact_lookup(self, table):
+        store = ArrayStore(codec="zstd").build(table)
+        res = store.lookup({"key": table.column("key")})
+        assert res.found.all()
+        for c in table.value_columns:
+            np.testing.assert_array_equal(res.values[c], table.column(c))
+
+    def test_missing_keys(self, table):
+        store = ArrayStore().build(table)
+        res = store.lookup({"key": np.array([10**6, -3])})
+        assert not res.found.any()
+
+    def test_duplicate_keys_rejected(self):
+        bad = ColumnTable({"k": np.array([1, 1]), "v": np.array([1, 2])},
+                          key=("k",))
+        with pytest.raises(ValueError, match="uniquely"):
+            ArrayStore().build(bad)
+
+    def test_lookup_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            ArrayStore().lookup({"key": np.array([1])})
+
+    def test_composite_key(self):
+        lineitem = tpch.generate("lineitem", scale=0.02)
+        store = ArrayStore(codec="zstd").build(lineitem)
+        res = store.lookup(lineitem)
+        assert res.found.all()
+        np.testing.assert_array_equal(
+            res.values["l_shipmode"], lineitem.column("l_shipmode"))
+
+
+class TestNaming:
+    @pytest.mark.parametrize("codec,dict_encode,expected", [
+        ("none", False, "AB"),
+        ("none", True, "ABC-D"),
+        ("gzip", False, "ABC-G"),
+        ("zstd", False, "ABC-Z"),
+        ("lzma", False, "ABC-L"),
+    ])
+    def test_paper_names(self, codec, dict_encode, expected):
+        assert ArrayStore(codec=codec, dict_encode=dict_encode).name == expected
+
+
+class TestSizes:
+    def test_compression_ordering(self, table):
+        """The paper's storage ordering: AB > ABC-D > ABC-Z > ABC-L."""
+        sizes = {
+            name: ArrayStore(codec=codec, dict_encode=de).build(table)
+            .stored_bytes()
+            for name, codec, de in [
+                ("AB", "none", False), ("ABC-D", "none", True),
+                ("ABC-Z", "zstd", False), ("ABC-L", "lzma", False)]
+        }
+        assert sizes["AB"] > sizes["ABC-D"] > sizes["ABC-Z"] > sizes["ABC-L"]
+
+    def test_partition_size_knob(self, table):
+        small = ArrayStore(target_partition_bytes=2048).build(table)
+        large = ArrayStore(target_partition_bytes=1 << 20).build(table)
+        assert small.partition_count > large.partition_count
+
+
+class TestMutations:
+    def test_insert_visible_and_sorted(self, table):
+        store = ArrayStore(codec="zstd").build(table)
+        batch = synthetic.insert_batch(table, 100, "low")
+        store.insert(batch)
+        res = store.lookup({"key": batch.column("key")})
+        assert res.found.all()
+        assert len(store) == table.n_rows + 100
+
+    def test_append_partition_fast_path(self, table):
+        store = ArrayStore(codec="zstd").build(table)
+        partitions_before = store.partition_count
+        batch = synthetic.insert_batch(table, 100, "low")
+        store.append_partition(batch)
+        assert store.partition_count == partitions_before + 1
+        res = store.lookup({"key": batch.column("key")})
+        assert res.found.all()
+
+    def test_append_requires_monotone_keys(self, table):
+        store = ArrayStore().build(table)
+        overlapping = {
+            "key": np.array([5]),
+            **{c: table.column(c)[:1] for c in table.value_columns},
+        }
+        with pytest.raises(ValueError, match="beyond the range"):
+            store.append_partition(overlapping)
+
+    def test_delete(self, table):
+        store = ArrayStore(codec="zstd").build(table)
+        victims = table.column("key")[:50]
+        assert store.delete({"key": victims}) == 50
+        assert not store.lookup({"key": victims}).found.any()
+        assert len(store) == table.n_rows - 50
+
+    def test_delete_absent_returns_zero(self, table):
+        store = ArrayStore().build(table)
+        assert store.delete({"key": np.array([10**6])}) == 0

@@ -1,0 +1,81 @@
+"""Tests for the DeepSqueeze baseline (lossy semantic compression)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArrayStore, DeepSqueeze
+from repro.data import ColumnTable, synthetic
+from repro.storage import BufferPool, MemoryBudgetError
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.multi_column(1500, "low")
+
+
+class TestBuildLookup:
+    def test_lookup_exact_thanks_to_outliers(self, table):
+        """With ε=0.001 on coarse categorical grids, every cell that the
+        autoencoder misses lands in the outlier table, so point lookups
+        happen to be exact — at the cost of storing almost everything."""
+        store = DeepSqueeze(epochs=10).build(table)
+        res = store.lookup({"key": table.column("key")[:300]})
+        assert res.found.all()
+        for c in table.value_columns:
+            got = res.values[c]
+            want = table.column(c)[:300]
+            assert all(got[i] == want[i] for i in range(300))
+
+    def test_missing_keys(self, table):
+        store = DeepSqueeze(epochs=5).build(table)
+        res = store.lookup({"key": np.array([10**6])})
+        assert not res.found.any()
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            DeepSqueeze(epsilon=0.0)
+
+
+class TestPaperCharacteristics:
+    def test_categorical_outliers_dominate(self, table):
+        """The paper's mechanism for DS's poor ratio: quantization bins
+        cannot capture categorical data, so the outlier table bloats."""
+        store = DeepSqueeze(epochs=10).build(table)
+        assert store.outlier_fraction() > 0.5
+
+    def test_worse_ratio_than_syntactic_compressors(self, table):
+        ds = DeepSqueeze(epochs=10).build(table).stored_bytes()
+        abc_z = ArrayStore(codec="zstd").build(table).stored_bytes()
+        assert ds > abc_z
+
+    def test_oom_under_strict_memory_budget(self, table):
+        """Table I's 'failed' entries: decoding the whole table does not
+        fit a constrained pool."""
+        pool = BufferPool(budget_bytes=1024, strict=True)
+        store = DeepSqueeze(epochs=5, pool=pool).build(table)
+        with pytest.raises(MemoryBudgetError):
+            store.lookup({"key": table.column("key")[:10]})
+
+    def test_numeric_like_data_compresses_better(self):
+        """On a smooth high-cardinality column the autoencoder earns its
+        keep: fewer outliers than on categorical noise."""
+        keys = np.arange(4000, dtype=np.int64)
+        smooth = ColumnTable(
+            {
+                "key": keys,
+                "a": (np.sin(keys / 300.0) * 500 + 500).astype(np.int64),
+                "b": (keys // 4).astype(np.int64),
+            },
+            key=("key",),
+        )
+        noisy_store = DeepSqueeze(epochs=15).build(
+            synthetic.multi_column(4000, "low"))
+        smooth_store = DeepSqueeze(epochs=15).build(smooth)
+        assert smooth_store.outlier_fraction() < noisy_store.outlier_fraction()
+
+    def test_reconstruction_cached_between_batches(self, table):
+        store = DeepSqueeze(epochs=5).build(table)
+        store.lookup({"key": table.column("key")[:10]})
+        misses = store.pool.stats.counters["pool_misses"]
+        store.lookup({"key": table.column("key")[10:20]})
+        assert store.pool.stats.counters["pool_misses"] == misses

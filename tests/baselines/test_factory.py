@@ -1,0 +1,39 @@
+"""Tests for the baseline factory."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.data import synthetic
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.single_column(800, "low")
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES)
+def test_every_name_builds_and_answers(name, table):
+    store = make_baseline(name, target_partition_bytes=8192).build(table)
+    assert store.name == name
+    res = store.lookup({"key": table.column("key")[:50]})
+    assert res.found.all()
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown baseline"):
+        make_baseline("LSM")
+
+
+def test_all_stores_agree_with_each_other(table):
+    """Every representation returns identical values (DS included — its
+    outlier table patches the lossy reconstruction on this data)."""
+    probe = {"key": table.column("key")[::7]}
+    reference = None
+    for name in BASELINE_NAMES:
+        store = make_baseline(name).build(table)
+        values = store.lookup(probe).values["value"]
+        if reference is None:
+            reference = [str(v) for v in values]
+        else:
+            assert [str(v) for v in values] == reference, name

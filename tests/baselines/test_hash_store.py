@@ -1,0 +1,89 @@
+"""Tests for the hash-based baselines (HB / HBC-*)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArrayStore, HashStore
+from repro.data import synthetic
+from repro.storage import BufferPool
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.multi_column(2000, "low")
+
+
+class TestBuildLookup:
+    def test_exact_lookup(self, table):
+        store = HashStore(codec="zstd").build(table)
+        res = store.lookup({"key": table.column("key")})
+        assert res.found.all()
+        for c in table.value_columns:
+            got = res.values[c]
+            want = table.column(c)
+            assert all(got[i] == want[i] for i in range(table.n_rows))
+
+    def test_missing_keys(self, table):
+        store = HashStore().build(table)
+        res = store.lookup({"key": np.array([10**6])})
+        assert not res.found.any()
+
+    def test_multiple_partitions(self, table):
+        store = HashStore(target_partition_bytes=4096).build(table)
+        assert store.partition_count > 1
+
+    def test_naming(self):
+        assert HashStore(codec="none").name == "HB"
+        assert HashStore(codec="zstd").name == "HBC-Z"
+        assert HashStore(codec="lzma").name == "HBC-L"
+
+    def test_partition_bytes_validated(self):
+        with pytest.raises(ValueError):
+            HashStore(target_partition_bytes=0)
+
+
+class TestPaperCharacteristics:
+    def test_hash_bigger_than_array(self, table):
+        """Sec. V-C: dict representations cost more storage than arrays."""
+        hb = HashStore(codec="none").build(table).stored_bytes()
+        ab = ArrayStore(codec="none").build(table).stored_bytes()
+        assert hb > ab
+
+    def test_compressed_variants_smaller(self, table):
+        hb = HashStore(codec="none").build(table).stored_bytes()
+        hbc_z = HashStore(codec="zstd").build(table).stored_bytes()
+        hbc_l = HashStore(codec="lzma").build(table).stored_bytes()
+        assert hbc_l < hbc_z < hb
+
+    def test_tiny_pool_forces_partition_reloads(self, table):
+        pool = BufferPool(budget_bytes=1)
+        store = HashStore(codec="zstd", target_partition_bytes=4096,
+                          pool=pool).build(table)
+        store.lookup({"key": table.column("key")[:200]})
+        store.lookup({"key": table.column("key")[:200]})
+        assert pool.stats.counters.get("pool_hits", 0) == 0
+        assert store.stats.seconds("deserialize") > 0
+
+
+class TestMutations:
+    def test_insert(self, table):
+        store = HashStore(codec="zstd").build(table)
+        batch = synthetic.insert_batch(table, 50, "low")
+        store.insert(batch)
+        res = store.lookup({"key": batch.column("key")})
+        assert res.found.all()
+        assert len(store) == table.n_rows + 50
+
+    def test_delete(self, table):
+        store = HashStore(codec="zstd").build(table)
+        victims = table.column("key")[:30]
+        assert store.delete({"key": victims}) == 30
+        assert not store.lookup({"key": victims}).found.any()
+
+    def test_insert_rewrites_touched_partitions(self, table):
+        store = HashStore(codec="zstd", target_partition_bytes=4096).build(table)
+        writes_before = store.stats.counters.get("blobs_read", 0)
+        batch = synthetic.insert_batch(table, 20, "low")
+        store.insert(batch)
+        # Each touched partition was read back (deserialize) during insert.
+        assert store.stats.counters.get("blobs_read", 0) >= writes_before

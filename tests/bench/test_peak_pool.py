@@ -1,0 +1,61 @@
+"""Tests for run-time memory footprint reporting (peak pool bytes)."""
+
+import numpy as np
+
+from repro.bench import (
+    SystemResult,
+    format_storage_latency_table,
+    run_comparison,
+)
+from repro.data import synthetic
+
+
+def test_peak_pool_recorded_and_bounded():
+    table = synthetic.single_column(3000, "low")
+    budget = 8 * 1024
+    results = run_comparison(
+        table, systems=["ABC-Z"], batch_sizes=[200], repeats=1,
+        memory_budget=budget, partition_bytes=2048,
+    )
+    peak = results[0].peak_pool_bytes
+    assert 0 < peak <= budget
+
+
+def test_unbounded_pool_peak_reflects_working_set():
+    table = synthetic.single_column(3000, "low")
+    results = run_comparison(
+        table, systems=["AB"], batch_sizes=[500], repeats=1,
+        memory_budget=None, partition_bytes=2048,
+    )
+    assert results[0].peak_pool_bytes > 0
+
+
+def test_report_includes_peak_column():
+    result = SystemResult("DM-Z", storage_bytes=1024,
+                          latencies={10: 0.001}, peak_pool_bytes=2048)
+    out = format_storage_latency_table([result], [10], "T")
+    assert "peak pool (KB)" in out
+    assert "2.00" in out
+
+
+def test_report_can_omit_peak_column():
+    result = SystemResult("DM-Z", storage_bytes=1024, latencies={10: 0.001})
+    out = format_storage_latency_table([result], [10], "T",
+                                       include_peak=False)
+    assert "peak pool" not in out
+
+
+def test_deepmapping_peak_below_baseline_under_pressure():
+    """The paper's run-time footprint claim: the DeepMapping working set
+    (its small aux partitions) stays below an array store's."""
+    table = synthetic.multi_column(6000, "high")
+    from repro.core import DeepMappingConfig
+
+    config = DeepMappingConfig(epochs=100, batch_size=512)
+    results = run_comparison(
+        table, systems=["AB", "DM-Z"], batch_sizes=[1000], repeats=1,
+        memory_budget=None, dm_config=config, partition_bytes=8192,
+    )
+    by_name = {r.system: r for r in results}
+    assert (by_name["DM-Z"].peak_pool_bytes
+            < by_name["AB"].peak_pool_bytes)

@@ -1,0 +1,78 @@
+"""Tests for report formatting."""
+
+import numpy as np
+
+from repro.bench import (
+    SystemResult,
+    format_breakdown,
+    format_series,
+    format_storage_latency_table,
+    format_table,
+    running_average,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_none_renders_failed(self):
+        out = format_table(["x"], [[None]])
+        assert "failed" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.12345], [1234.5]])
+        assert "0.1234" in out or "0.1235" in out
+        assert "1,234" in out or "1,235" in out
+
+
+class TestStorageLatencyTable:
+    def test_paper_row_shape(self):
+        result = SystemResult("DM-Z", storage_bytes=2048,
+                              latencies={10: 0.001, 100: None})
+        out = format_storage_latency_table([result], [10, 100], "Table I")
+        assert "DM-Z" in out
+        assert "B=10 (ms)" in out
+        assert "failed" in out
+
+
+class TestBreakdown:
+    def test_only_nonzero_buckets_shown(self):
+        out = format_breakdown("AB", {"io_seconds": 0.5,
+                                      "decompress_seconds": 0.0})
+        assert "io=" in out
+        assert "decompress" not in out
+
+    def test_percentages_sum(self):
+        out = format_breakdown("X", {"io_seconds": 0.5,
+                                     "search_seconds": 0.5})
+        assert "(50%)" in out
+
+
+class TestSeries:
+    def test_pairs(self):
+        out = format_series("DM", [1, 2], [0.5, None])
+        assert "1: 0.5" in out
+        assert "2: failed" in out
+
+
+class TestRunningAverage:
+    def test_window_one_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(running_average(values, 1), values)
+
+    def test_smooths_toward_mean(self):
+        values = [1.0, -1.0] * 50
+        smooth = running_average(values, 10)
+        assert np.abs(smooth[20:]).max() < 0.6
+
+    def test_preserves_length(self):
+        assert running_average(np.arange(17.0), 5).size == 17
+
+    def test_empty(self):
+        assert running_average([], 5).size == 0

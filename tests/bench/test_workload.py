@@ -1,0 +1,54 @@
+"""Tests for benchmark workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.bench import delete_batch, key_batches, random_key_batch
+from repro.data import synthetic, tpch
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.single_column(500, "low")
+
+
+class TestRandomKeyBatch:
+    def test_size_and_membership(self, table, rng):
+        batch = random_key_batch(table, 64, rng)
+        assert batch["key"].size == 64
+        assert np.isin(batch["key"], table.column("key")).all()
+
+    def test_composite_key_batch(self, rng):
+        lineitem = tpch.generate("lineitem", scale=0.02)
+        batch = random_key_batch(lineitem, 32, rng)
+        assert set(batch) == {"l_orderkey", "l_linenumber"}
+        assert batch["l_orderkey"].size == 32
+
+
+class TestKeyBatches:
+    def test_repeats(self, table):
+        batches = key_batches(table, 16, repeats=5)
+        assert len(batches) == 5
+
+    def test_deterministic(self, table):
+        a = key_batches(table, 16, repeats=2, seed=4)
+        b = key_batches(table, 16, repeats=2, seed=4)
+        np.testing.assert_array_equal(a[0]["key"], b[0]["key"])
+
+    def test_batch_size_changes_stream(self, table):
+        a = key_batches(table, 16, repeats=1, seed=4)
+        b = key_batches(table, 17, repeats=1, seed=4)
+        assert a[0]["key"].size != b[0]["key"].size
+
+
+class TestDeleteBatch:
+    def test_fraction(self, table, rng):
+        batch = delete_batch(table, 0.1, rng)
+        assert batch["key"].size == 50
+        assert np.unique(batch["key"]).size == 50
+
+    def test_fraction_validated(self, table, rng):
+        with pytest.raises(ValueError):
+            delete_batch(table, 0.0, rng)
+        with pytest.raises(ValueError):
+            delete_batch(table, 1.5, rng)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy Generator for tests."""
+    return np.random.default_rng(20240610)
+
+
+@pytest.fixture
+def tmp_store_dir(tmp_path):
+    """Directory for disk-store artifacts, unique per test."""
+    path = tmp_path / "store"
+    path.mkdir()
+    return str(path)

@@ -1,0 +1,193 @@
+"""Tests for the auxiliary accuracy-assurance table T_aux."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AuxiliaryTable
+
+
+def build_aux(n=500, codec="zstd", partition=2048):
+    rng = np.random.default_rng(13)
+    keys = np.sort(rng.choice(10_000, size=n, replace=False)).astype(np.int64)
+    codes = {
+        "a": rng.integers(0, 5, size=n),
+        "b": rng.integers(0, 50, size=n),
+    }
+    aux = AuxiliaryTable(("a", "b"), codec=codec, target_partition_bytes=partition)
+    aux.build(keys, codes)
+    return aux, keys, codes
+
+
+class TestBuildAndLookup:
+    def test_all_rows_found(self):
+        aux, keys, codes = build_aux()
+        found, got = aux.lookup_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(got["a"], codes["a"])
+        np.testing.assert_array_equal(got["b"], codes["b"])
+
+    def test_missing_keys_not_found(self):
+        aux, keys, _ = build_aux()
+        probe = np.setdiff1d(np.arange(10_000), keys)[:100]
+        found, _ = aux.lookup_batch(probe)
+        assert not found.any()
+
+    def test_len(self):
+        aux, keys, _ = build_aux(n=300)
+        assert len(aux) == 300
+
+    def test_empty_build(self):
+        aux = AuxiliaryTable(("a",))
+        aux.build(np.empty(0, dtype=np.int64), {"a": np.empty(0, dtype=np.int64)})
+        assert len(aux) == 0
+        found, _ = aux.lookup_batch(np.array([1, 2]))
+        assert not found.any()
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            AuxiliaryTable(())
+
+    def test_codes_stored_with_minimal_dtype(self):
+        aux, _, _ = build_aux()
+        # Cardinality 5 / 50 codes must round-trip exactly despite narrowing.
+        keys, codes = aux.scan()
+        assert codes["a"].max() < 5
+        assert codes["b"].max() < 50
+
+    @pytest.mark.parametrize("codec", ["none", "zstd", "lzma"])
+    def test_codecs(self, codec):
+        aux, keys, codes = build_aux(codec=codec)
+        found, got = aux.lookup_batch(keys[:50])
+        assert found.all()
+        np.testing.assert_array_equal(got["b"], codes["b"][:50])
+
+
+class TestMutations:
+    def test_add_new_key(self):
+        aux, keys, _ = build_aux()
+        new_key = np.array([10_001], dtype=np.int64)
+        aux.add_batch(new_key, {"a": np.array([4]), "b": np.array([44])})
+        found, got = aux.lookup_batch(new_key)
+        assert found[0]
+        assert got["a"][0] == 4 and got["b"][0] == 44
+
+    def test_add_overwrites_existing(self):
+        aux, keys, _ = build_aux()
+        aux.add_batch(keys[:1], {"a": np.array([4]), "b": np.array([44])})
+        found, got = aux.lookup_batch(keys[:1])
+        assert found[0] and got["b"][0] == 44
+
+    def test_remove_partition_row(self):
+        aux, keys, _ = build_aux()
+        aux.remove_batch(keys[:3])
+        found, _ = aux.lookup_batch(keys[:3])
+        assert not found.any()
+        assert len(aux) == len(keys) - 3
+
+    def test_remove_overlay_row(self):
+        aux, keys, _ = build_aux()
+        new_key = np.array([10_002], dtype=np.int64)
+        aux.add_batch(new_key, {"a": np.array([1]), "b": np.array([1])})
+        aux.remove_batch(new_key)
+        found, _ = aux.lookup_batch(new_key)
+        assert not found[0]
+
+    def test_remove_absent_is_noop(self):
+        aux, keys, _ = build_aux()
+        aux.remove_batch(np.array([99_999], dtype=np.int64))
+        assert len(aux) == len(keys)
+
+    def test_readd_after_remove(self):
+        aux, keys, _ = build_aux()
+        aux.remove_batch(keys[:1])
+        aux.add_batch(keys[:1], {"a": np.array([2]), "b": np.array([22])})
+        found, got = aux.lookup_batch(keys[:1])
+        assert found[0] and got["b"][0] == 22
+
+
+class TestCompaction:
+    def test_compact_preserves_content(self):
+        aux, keys, codes = build_aux(n=200)
+        aux.remove_batch(keys[:10])
+        aux.add_batch(np.array([20_000], dtype=np.int64),
+                      {"a": np.array([3]), "b": np.array([33])})
+        before_keys, before_codes = aux.scan()
+        aux.compact()
+        after_keys, after_codes = aux.scan()
+        np.testing.assert_array_equal(before_keys, after_keys)
+        np.testing.assert_array_equal(before_codes["b"], after_codes["b"])
+
+    def test_compact_clears_overlay(self):
+        aux, keys, _ = build_aux(n=200)
+        aux.add_batch(np.array([20_000], dtype=np.int64),
+                      {"a": np.array([0]), "b": np.array([0])})
+        aux.compact()
+        assert len(aux._overlay) == 0
+        found, _ = aux.lookup_batch(np.array([20_000]))
+        assert found[0]
+
+    def test_compact_empty_is_noop(self):
+        aux, _, _ = build_aux(n=50)
+        bytes_before = aux.stored_bytes()
+        aux.compact()
+        assert aux.stored_bytes() == bytes_before
+
+
+class TestAccounting:
+    def test_stored_bytes_includes_overlay(self):
+        aux, keys, _ = build_aux(n=200)
+        base = aux.stored_bytes()
+        aux.add_batch(np.arange(30_000, 30_200, dtype=np.int64),
+                      {"a": np.zeros(200, dtype=np.int64),
+                       "b": np.zeros(200, dtype=np.int64)})
+        assert aux.stored_bytes() > base
+
+    def test_lzma_smaller_than_none(self):
+        plain, _, _ = build_aux(n=2000, codec="none")
+        packed, _, _ = build_aux(n=2000, codec="lzma")
+        assert packed.stored_bytes() < plain.stored_bytes()
+
+    def test_partition_count_scales(self):
+        few, _, _ = build_aux(n=2000, partition=64 * 1024)
+        many, _, _ = build_aux(n=2000, partition=1024)
+        assert many.partition_count > few.partition_count
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_aux_matches_dict_model_under_random_ops(data):
+    """Property: T_aux behaves like a dict under add/remove sequences."""
+    rng_keys = st.integers(min_value=0, max_value=200)
+    initial = data.draw(st.lists(rng_keys, min_size=1, max_size=40, unique=True))
+    initial = np.array(sorted(initial), dtype=np.int64)
+    aux = AuxiliaryTable(("v",), target_partition_bytes=256)
+    aux.build(initial, {"v": initial % 7})
+    model = {int(k): int(k) % 7 for k in initial}
+
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), rng_keys,
+                      st.integers(min_value=0, max_value=6)),
+            max_size=30,
+        )
+    )
+    for op, key, value in ops:
+        if op == "add":
+            aux.add_batch(np.array([key], dtype=np.int64),
+                          {"v": np.array([value], dtype=np.int64)})
+            model[key] = value
+        else:
+            aux.remove_batch(np.array([key], dtype=np.int64))
+            model.pop(key, None)
+
+    probe = np.arange(201, dtype=np.int64)
+    found, codes = aux.lookup_batch(probe)
+    for key in range(201):
+        if key in model:
+            assert found[key]
+            assert codes["v"][key] == model[key]
+        else:
+            assert not found[key]
+    assert len(aux) == len(model)

@@ -1,0 +1,57 @@
+"""Focused tests for DeepMappingConfig validation and variants."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import DeepMappingConfig
+
+
+class TestDefaults:
+    def test_defaults_are_valid(self):
+        config = DeepMappingConfig()
+        assert config.key_base == 10
+        assert config.aux_codec == "zstd"
+        assert config.warm_start_rebuild is True
+        assert config.retrain_threshold_bytes is None
+
+    def test_variant_via_replace(self):
+        base = DeepMappingConfig()
+        lzma_variant = replace(base, aux_codec="lzma")
+        assert lzma_variant.aux_codec == "lzma"
+        assert base.aux_codec == "zstd"
+
+
+class TestValidation:
+    def test_key_base_scalar(self):
+        with pytest.raises(ValueError):
+            DeepMappingConfig(key_base=1)
+
+    def test_key_base_tuple(self):
+        DeepMappingConfig(key_base=(10, 7))  # valid
+        with pytest.raises(ValueError):
+            DeepMappingConfig(key_base=(10, 1))
+        with pytest.raises(ValueError):
+            DeepMappingConfig(key_base=())
+
+    def test_headroom(self):
+        with pytest.raises(ValueError):
+            DeepMappingConfig(key_headroom_fraction=-0.1)
+
+    def test_training_fields(self):
+        with pytest.raises(ValueError):
+            DeepMappingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            DeepMappingConfig(batch_size=0)
+
+    def test_aux_fields(self):
+        with pytest.raises(ValueError):
+            DeepMappingConfig(aux_partition_bytes=0)
+        with pytest.raises(ValueError):
+            DeepMappingConfig(aux_auto_compact_rows=0)
+
+    def test_retrain_threshold(self):
+        DeepMappingConfig(retrain_threshold_bytes=None)  # valid
+        DeepMappingConfig(retrain_threshold_bytes=1)     # valid
+        with pytest.raises(ValueError):
+            DeepMappingConfig(retrain_threshold_bytes=0)

@@ -1,0 +1,57 @@
+"""Tests for the LookupResult and SizeReport value objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import LookupResult, SizeReport
+
+
+class TestLookupResult:
+    def test_len(self):
+        result = LookupResult(found=np.array([True, False]),
+                              values={"v": np.array([1, 2])})
+        assert len(result) == 2
+
+    def test_rows_yield_none_for_missing(self):
+        result = LookupResult(found=np.array([True, False, True]),
+                              values={"v": np.array([1, 2, 3])})
+        rows = list(result.rows())
+        assert rows[0] == {"v": 1}
+        assert rows[1] is None
+        assert rows[2] == {"v": 3}
+
+    def test_empty(self):
+        result = LookupResult(found=np.empty(0, dtype=bool),
+                              values={"v": np.empty(0)})
+        assert len(result) == 0
+        assert list(result.rows()) == []
+
+
+class TestSizeReport:
+    def make(self, **overrides):
+        fields = dict(model_bytes=100, aux_bytes=300, exist_bytes=50,
+                      decode_bytes=50, dataset_bytes=1000, n_rows=10,
+                      n_in_aux=4)
+        fields.update(overrides)
+        return SizeReport(**fields)
+
+    def test_total(self):
+        assert self.make().total_bytes == 500
+
+    def test_ratio(self):
+        assert self.make().compression_ratio == pytest.approx(0.5)
+
+    def test_ratio_empty_dataset_is_inf(self):
+        assert self.make(dataset_bytes=0).compression_ratio == float("inf")
+
+    def test_memorized_fraction(self):
+        assert self.make().memorized_fraction == pytest.approx(0.6)
+
+    def test_memorized_fraction_empty_structure(self):
+        assert self.make(n_rows=0, n_in_aux=0).memorized_fraction == 1.0
+
+    def test_breakdown_percentages(self):
+        breakdown = self.make().breakdown()
+        assert breakdown["model"] == pytest.approx(20.0)
+        assert breakdown["aux_table"] == pytest.approx(60.0)
+        assert sum(breakdown.values()) == pytest.approx(100.0)

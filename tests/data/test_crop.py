@@ -1,0 +1,61 @@
+"""Tests for the synthetic crop raster."""
+
+import numpy as np
+import pytest
+
+from repro.data import crop
+
+
+class TestGenerate:
+    def test_shape(self):
+        table = crop.generate(height=50, width=40)
+        assert table.n_rows == 2000
+        assert table.key == ("lat", "lon")
+        assert set(table.column_names) == {"lat", "lon", "crop_type"}
+
+    def test_deterministic(self):
+        assert crop.generate(50, 50, seed=1).equals(crop.generate(50, 50, seed=1))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            crop.generate(0, 10)
+
+    def test_crop_types_from_vocabulary(self):
+        table = crop.generate(60, 60)
+        assert set(np.unique(table.column("crop_type"))) <= set(
+            crop.CROP_TYPES.tolist()
+        )
+
+
+class TestSpatialCharacter:
+    def test_strong_spatial_autocorrelation(self):
+        """Neighbouring pixels mostly share a crop type — the property that
+        makes the real CroplandCROS data compressible by DeepMapping."""
+        table = crop.generate(80, 80, smoothness=10)
+        grid = table.column("crop_type").reshape(80, 80)
+        horizontal_match = (grid[:, :-1] == grid[:, 1:]).mean()
+        assert horizontal_match > 0.9
+
+    def test_smoothness_increases_autocorrelation(self):
+        rough = crop.generate(60, 60, smoothness=1, seed=3)
+        smooth = crop.generate(60, 60, smoothness=8, seed=3)
+
+        def match(t):
+            g = t.column("crop_type").reshape(60, 60)
+            return (g[:, :-1] == g[:, 1:]).mean()
+
+        assert match(smooth) > match(rough)
+
+    def test_skewed_crop_distribution(self):
+        """Like the real CDL, a couple of crops dominate the area."""
+        table = crop.generate(100, 100)
+        _, counts = np.unique(table.column("crop_type"), return_counts=True)
+        shares = np.sort(counts / counts.sum())[::-1]
+        assert shares[:2].sum() > 0.4
+
+    def test_lat_lon_enumerate_grid(self):
+        table = crop.generate(10, 7)
+        assert table.column("lat").max() == 9
+        assert table.column("lon").max() == 6
+        flat = table.column("lat") * 7 + table.column("lon")
+        assert np.array_equal(flat, np.arange(70))

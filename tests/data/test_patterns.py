@@ -1,0 +1,86 @@
+"""Tests for the generator pattern helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data._patterns import (
+    mixed_radix_column,
+    noisy_choice,
+    structured_column,
+)
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(77)
+
+
+class TestStructuredColumn:
+    def test_zero_noise_is_deterministic(self, np_rng):
+        keys = np.arange(100)
+        values = structured_column(keys, 5, period=4, noise=0.0, rng=np_rng)
+        np.testing.assert_array_equal(values, (keys // 4) % 5)
+
+    def test_full_noise_destroys_pattern(self, np_rng):
+        keys = np.arange(4000)
+        values = structured_column(keys, 5, period=4, noise=1.0, rng=np_rng)
+        expected = (keys // 4) % 5
+        assert (values == expected).mean() < 0.4
+
+    def test_noise_fraction_roughly_respected(self, np_rng):
+        keys = np.arange(10_000)
+        values = structured_column(keys, 10, period=3, noise=0.3, rng=np_rng)
+        expected = (keys // 3) % 10
+        # 70% kept + ~3% of flips landing on the right value by chance.
+        assert 0.64 < (values == expected).mean() < 0.82
+
+    def test_validation(self, np_rng):
+        with pytest.raises(ValueError):
+            structured_column(np.arange(5), 3, period=2, noise=-0.1,
+                              rng=np_rng)
+        with pytest.raises(ValueError):
+            structured_column(np.arange(5), 0, period=2, noise=0.1,
+                              rng=np_rng)
+        with pytest.raises(ValueError):
+            structured_column(np.arange(5), 3, period=0, noise=0.1,
+                              rng=np_rng)
+
+
+class TestNoisyChoice:
+    def test_uniform_covers_domain(self, np_rng):
+        values = noisy_choice(5000, 7, np_rng)
+        assert set(np.unique(values)) == set(range(7))
+
+    def test_skew_concentrates_mass(self, np_rng):
+        uniform = noisy_choice(5000, 20, np_rng, skew=0.0)
+        skewed = noisy_choice(5000, 20, np_rng, skew=1.5)
+        top_uniform = (uniform == np.bincount(uniform).argmax()).mean()
+        top_skewed = (skewed == np.bincount(skewed).argmax()).mean()
+        assert top_skewed > top_uniform * 2
+
+    def test_validation(self, np_rng):
+        with pytest.raises(ValueError):
+            noisy_choice(10, 0, np_rng)
+
+
+class TestMixedRadix:
+    def test_digits_reconstruct_key(self):
+        radices = np.array([3, 5, 7])
+        keys = np.arange(3 * 5 * 7)
+        d0 = mixed_radix_column(keys, radices, 0)
+        d1 = mixed_radix_column(keys, radices, 1)
+        d2 = mixed_radix_column(keys, radices, 2)
+        np.testing.assert_array_equal(d0 * 35 + d1 * 7 + d2, keys)
+
+    def test_last_position_is_modulo(self):
+        radices = np.array([2, 5])
+        keys = np.arange(50)
+        np.testing.assert_array_equal(
+            mixed_radix_column(keys, radices, 1), keys % 5
+        )
+
+    def test_digits_within_radix(self):
+        radices = np.array([4, 9])
+        keys = np.arange(100)
+        assert mixed_radix_column(keys, radices, 0).max() < 4
+        assert mixed_radix_column(keys, radices, 1).max() < 9

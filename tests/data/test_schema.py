@@ -1,0 +1,64 @@
+"""Tests for schema descriptions."""
+
+import pytest
+
+from repro.data import ColumnSpec, ColumnType, Schema
+
+
+def make_schema():
+    return Schema(
+        "orders",
+        (
+            ColumnSpec("o_orderkey", ColumnType.INTEGER),
+            ColumnSpec("o_status", ColumnType.CATEGORICAL, 3),
+        ),
+        key=("o_orderkey",),
+    )
+
+
+class TestColumnSpec:
+    def test_fields(self):
+        spec = ColumnSpec("x", ColumnType.INTEGER, 5)
+        assert spec.name == "x"
+        assert spec.cardinality == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("", ColumnType.INTEGER)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("x", ColumnType.INTEGER, -1)
+
+
+class TestSchema:
+    def test_column_names(self):
+        assert make_schema().column_names == ("o_orderkey", "o_status")
+
+    def test_value_columns_excludes_key(self):
+        assert make_schema().value_columns == ("o_status",)
+
+    def test_spec_lookup(self):
+        assert make_schema().spec("o_status").cardinality == 3
+        with pytest.raises(KeyError):
+            make_schema().spec("missing")
+
+    def test_by_name(self):
+        assert set(make_schema().by_name()) == {"o_orderkey", "o_status"}
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(
+                "t",
+                (ColumnSpec("a", ColumnType.INTEGER),
+                 ColumnSpec("a", ColumnType.INTEGER)),
+                key=("a",),
+            )
+
+    def test_key_must_exist(self):
+        with pytest.raises(ValueError):
+            Schema("t", (ColumnSpec("a", ColumnType.INTEGER),), key=("b",))
+
+    def test_key_required(self):
+        with pytest.raises(ValueError):
+            Schema("t", (ColumnSpec("a", ColumnType.INTEGER),), key=())

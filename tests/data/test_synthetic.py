@@ -1,0 +1,101 @@
+"""Tests for the synthetic low/high-correlation suites."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+
+
+class TestSingleColumn:
+    def test_low_correlation_regime(self):
+        table = synthetic.single_column(5000, "low")
+        assert synthetic.key_value_pearson(table) < 0.05
+
+    def test_high_correlation_has_periodic_pattern(self):
+        table = synthetic.single_column(5000, "high")
+        values = table.column("value")
+        # Periodic: within a 64-key period the value is (almost) constant.
+        block = values[:64]
+        assert (block == block[0]).mean() > 0.9
+
+    def test_high_more_correlated_than_low(self):
+        low = synthetic.key_value_pearson(synthetic.single_column(5000, "low"))
+        high = synthetic.key_value_pearson(synthetic.single_column(5000, "high"))
+        assert high > low
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic.single_column(10, "medium")
+
+    def test_start_key_offsets(self):
+        table = synthetic.single_column(10, "low", start_key=100)
+        assert table.column("key")[0] == 100
+        assert table.column("key")[-1] == 109
+
+    def test_deterministic(self):
+        a = synthetic.single_column(100, "low", seed=2)
+        b = synthetic.single_column(100, "low", seed=2)
+        assert a.equals(b)
+
+
+class TestMultiColumn:
+    def test_column_count(self):
+        table = synthetic.multi_column(100, "low")
+        assert len(table.value_columns) == 4
+
+    def test_high_correlation_fully_determined(self):
+        """multi/high mirrors customer_demographics: values are mixed-radix
+        digits of the key, i.e. a pure function of the key."""
+        a = synthetic.multi_column(1000, "high", seed=1)
+        b = synthetic.multi_column(1000, "high", seed=99)
+        for col in a.value_columns:
+            assert np.array_equal(a.column(col), b.column(col))
+
+    def test_low_correlation_seed_dependent(self):
+        a = synthetic.multi_column(1000, "low", seed=1)
+        b = synthetic.multi_column(1000, "low", seed=2)
+        assert any(
+            not np.array_equal(a.column(c), b.column(c)) for c in a.value_columns
+        )
+
+    def test_cardinalities(self):
+        table = synthetic.multi_column(5000, "low")
+        cards = [np.unique(table.column(c)).size for c in table.value_columns]
+        assert cards == [3, 2, 7, 50]
+
+
+class TestInsertBatch:
+    def test_keys_continue_after_base(self):
+        base = synthetic.multi_column(100, "low")
+        batch = synthetic.insert_batch(base, 50, "low")
+        assert batch.column("key").min() == 100
+        assert batch.n_rows == 50
+
+    def test_cross_distribution_batch(self):
+        base = synthetic.multi_column(100, "low")
+        batch = synthetic.insert_batch(base, 200, "high")
+        # High-correlation values are a pure function of the key.
+        again = synthetic.insert_batch(base, 200, "high", seed=123)
+        for col in batch.value_columns:
+            assert np.array_equal(batch.column(col), again.column(col))
+
+    def test_single_column_batch(self):
+        base = synthetic.single_column(100, "low")
+        batch = synthetic.insert_batch(base, 10, "low")
+        assert set(batch.column_names) == {"key", "value"}
+
+
+class TestPearsonHelper:
+    def test_perfectly_correlated_column(self):
+        from repro.data import ColumnTable
+
+        keys = np.arange(1000, dtype=np.int64)
+        table = ColumnTable({"key": keys, "v": keys * 3}, key=("key",))
+        assert synthetic.key_value_pearson(table) > 0.999
+
+    def test_constant_column_is_zero(self):
+        from repro.data import ColumnTable
+
+        keys = np.arange(100, dtype=np.int64)
+        table = ColumnTable({"key": keys, "v": np.ones(100)}, key=("key",))
+        assert synthetic.key_value_pearson(table) == 0.0

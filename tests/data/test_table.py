@@ -1,0 +1,99 @@
+"""Tests for ColumnTable."""
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnTable
+
+
+def make_table(n=10):
+    return ColumnTable(
+        {
+            "k": np.arange(n, dtype=np.int64),
+            "v": np.arange(n) * 2,
+            "s": np.array([f"s{i % 3}" for i in range(n)]),
+        },
+        key=("k",),
+        name="t",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        table = make_table()
+        assert table.n_rows == 10
+        assert len(table) == 10
+        assert table.column_names == ("k", "v", "s")
+        assert table.value_columns == ("v", "s")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({"a": np.arange(3), "b": np.arange(4)}, key=("a",))
+
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(KeyError):
+            ColumnTable({"a": np.arange(3)}, key=("b",))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({"a": np.arange(3)}, key=())
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({}, key=("a",))
+
+
+class TestAccess:
+    def test_column_access(self):
+        table = make_table()
+        assert np.array_equal(table.column("v"), np.arange(10) * 2)
+        assert np.array_equal(table["v"], table.column("v"))
+
+    def test_key_and_value_dicts(self):
+        table = make_table()
+        assert set(table.key_columns_dict()) == {"k"}
+        assert set(table.value_columns_dict()) == {"v", "s"}
+
+    def test_row(self):
+        row = make_table().row(2)
+        assert row["k"] == 2
+        assert row["v"] == 4
+
+
+class TestTransforms:
+    def test_take(self):
+        sub = make_table().take([1, 3])
+        assert sub.n_rows == 2
+        assert sub.column("k").tolist() == [1, 3]
+        assert sub.key == ("k",)
+
+    def test_head(self):
+        assert make_table().head(3).n_rows == 3
+        assert make_table().head(100).n_rows == 10
+
+    def test_concat(self):
+        a, b = make_table(5), make_table(3)
+        merged = a.concat(b)
+        assert merged.n_rows == 8
+
+    def test_concat_schema_mismatch_rejected(self):
+        a = make_table()
+        b = ColumnTable({"k": np.arange(3)}, key=("k",))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_sample_rows(self, rng):
+        sample = make_table(100).sample_rows(10, rng)
+        assert sample.n_rows == 10
+
+
+class TestAccounting:
+    def test_uncompressed_bytes_positive_and_grows(self):
+        small = make_table(10).uncompressed_bytes()
+        large = make_table(1000).uncompressed_bytes()
+        assert 0 < small < large
+
+    def test_equals(self):
+        assert make_table().equals(make_table())
+        other = make_table().take(np.arange(9))
+        assert not make_table().equals(other)

@@ -1,0 +1,75 @@
+"""Tests for the TPC-DS generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import tpcds
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("table", tpcds.TPCDS_TABLES)
+    def test_all_tables_generate(self, table):
+        data = tpcds.generate(table, scale=0.2)
+        assert data.n_rows > 0
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            tpcds.generate("web_sales")
+
+    def test_deterministic(self):
+        a = tpcds.generate("catalog_sales", scale=0.1, seed=5)
+        b = tpcds.generate("catalog_sales", scale=0.1, seed=5)
+        assert a.equals(b)
+
+    @pytest.mark.parametrize("table", tpcds.TPCDS_TABLES)
+    def test_schema_conformance(self, table):
+        data = tpcds.generate(table, scale=0.1)
+        schema = tpcds.schema_for(table)
+        assert set(data.column_names) == set(schema.column_names)
+        assert data.key == schema.key
+
+
+class TestCustomerDemographics:
+    """The flagship high-correlation table: a pure cross product."""
+
+    def test_every_column_is_function_of_key(self):
+        data = tpcds.generate("customer_demographics", scale=0.1)
+        keys = data.column("cd_demo_sk")
+        # Regenerate and check identical mapping for a key subset.
+        again = tpcds.generate("customer_demographics", scale=0.2)
+        idx = np.searchsorted(again.column("cd_demo_sk"), keys)
+        for name in data.value_columns:
+            assert np.array_equal(again.column(name)[idx], data.column(name))
+
+    def test_cross_product_structure(self):
+        data = tpcds.generate("customer_demographics", scale=0.05)
+        gender = data.column("cd_gender")
+        # Fastest-varying dimension is the last: dep_count cycles every row.
+        dep = data.column("cd_dep_count")
+        assert dep[0] != dep[1]
+        # Gender is the slowest dimension: constant over long prefixes.
+        assert (gender[:100] == gender[0]).all()
+
+    def test_dimension_vocabularies(self):
+        data = tpcds.generate("customer_demographics", scale=0.1)
+        for name, vocab in tpcds.CD_DIMENSIONS:
+            assert set(np.unique(data.column(name))) <= set(vocab.tolist())
+
+    def test_keys_dense_from_one(self):
+        data = tpcds.generate("customer_demographics", scale=0.1)
+        keys = data.column("cd_demo_sk")
+        assert keys[0] == 1
+        assert np.array_equal(keys, np.arange(1, keys.size + 1))
+
+
+class TestFactTables:
+    def test_catalog_sales_larger_than_returns(self):
+        sales = tpcds.generate("catalog_sales", scale=0.1)
+        returns = tpcds.generate("catalog_returns", scale=0.1)
+        assert sales.n_rows > returns.n_rows
+
+    def test_higher_cardinality_than_tpch(self):
+        # Sec. V-B1: TPC-DS columns have larger cardinalities than TPC-H.
+        sales = tpcds.generate("catalog_sales", scale=0.3)
+        assert np.unique(sales.column("cs_ship_mode")).size >= 15
+        assert np.unique(sales.column("cs_quantity")).size >= 50

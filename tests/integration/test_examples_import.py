@@ -1,0 +1,42 @@
+"""Smoke tests: every example script imports cleanly against the API.
+
+Examples are guarded by ``if __name__ == "__main__"``, so importing them
+exercises their imports and top-level API references without the training
+cost of running them (the benchmark suite covers runtime behaviour).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def example_files():
+    return sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+
+
+@pytest.mark.parametrize("filename", example_files())
+def test_example_imports(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    name = f"example_{filename[:-3]}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{filename} lacks a main()"
+    finally:
+        sys.modules.pop(name, None)
+
+
+def test_expected_examples_present():
+    names = example_files()
+    for required in ("quickstart.py", "edge_retail_orders.py",
+                     "crop_lookup.py", "architecture_search.py",
+                     "star_schema.py", "lazy_updates.py"):
+        assert required in names

@@ -1,0 +1,101 @@
+"""Tests for the MHAS LSTM controller and REINFORCE update."""
+
+import numpy as np
+import pytest
+
+from repro.core.mhas import Controller, MHASConfig, SearchSpace
+
+
+def make_controller(seed=0, **cfg):
+    config = MHASConfig(**cfg)
+    space = SearchSpace(input_dim=12, output_dims={"a": 3, "b": 4},
+                        config=config)
+    return Controller(space, np.random.default_rng(seed)), space
+
+
+class TestSampling:
+    def test_decisions_within_bounds(self):
+        controller, space = make_controller()
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            trajectory = controller.sample(rng)
+            assert len(trajectory.decisions) <= space.max_decisions
+            assert all(0 <= d < space.n_options for d in trajectory.decisions)
+
+    def test_trajectory_translates_to_valid_spec(self):
+        controller, space = make_controller()
+        rng = np.random.default_rng(6)
+        trajectory = controller.sample(rng)
+        spec = space.spec_from_decisions(trajectory.decisions)
+        assert spec.input_dim == 12
+        assert set(spec.output_dims) == {"a", "b"}
+
+    def test_log_prob_negative_entropy_positive(self):
+        controller, _ = make_controller()
+        trajectory = controller.sample(np.random.default_rng(7))
+        assert trajectory.log_prob <= 0.0
+        assert trajectory.entropy >= 0.0
+
+    def test_greedy_sampling_deterministic(self):
+        controller, _ = make_controller()
+        a = controller.sample(np.random.default_rng(1), greedy=True)
+        b = controller.sample(np.random.default_rng(99), greedy=True)
+        assert a.decisions == b.decisions
+
+
+class TestBaseline:
+    def test_first_reward_initialises(self):
+        controller, _ = make_controller()
+        controller.update_baseline(-0.5)
+        assert controller.baseline == pytest.approx(-0.5)
+
+    def test_ema(self):
+        controller, _ = make_controller(baseline_decay=0.5)
+        controller.update_baseline(-1.0)
+        controller.update_baseline(0.0)
+        assert controller.baseline == pytest.approx(-0.5)
+
+
+class TestReinforce:
+    def test_rejects_mismatched_batches(self):
+        controller, _ = make_controller()
+        trajectory = controller.sample(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            controller.reinforce([trajectory], [1.0, 2.0])
+
+    def test_rewarded_decisions_become_more_likely(self):
+        """Reinforcing STOP-everywhere trajectories must raise the policy's
+        probability of choosing STOP at the first step."""
+        controller, space = make_controller(seed=3, entropy_weight=0.0,
+                                            controller_lr=0.05)
+        rng = np.random.default_rng(11)
+
+        def stop_probability():
+            from repro.nn.activations import softmax
+            from repro.nn.lstm import LSTMState
+
+            state = LSTMState.zero(1, space.config.controller_hidden)
+            x = controller.embedding.forward([0], train=False)
+            state, _ = controller.cell.step(x, state)
+            logits = controller.head.forward(state.h, train=False)
+            return float(softmax(logits)[0][0])
+
+        before = stop_probability()
+        for _ in range(25):
+            batch = [controller.sample(rng) for _ in range(4)]
+            rewards = [
+                float(sum(1 for d in t.decisions if d == 0)
+                      - sum(1 for d in t.decisions if d != 0))
+                for t in batch
+            ]
+            controller.reinforce(batch, rewards)
+        after = stop_probability()
+        assert after > before
+        assert after > 0.6
+
+    def test_reinforce_returns_mean_advantage(self):
+        controller, _ = make_controller()
+        rng = np.random.default_rng(2)
+        trajectories = [controller.sample(rng) for _ in range(3)]
+        advantage = controller.reinforce(trajectories, [1.0, 1.0, 1.0])
+        assert isinstance(advantage, float)

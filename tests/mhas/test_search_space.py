@@ -1,0 +1,103 @@
+"""Tests for the MHAS search space and weight bank."""
+
+import numpy as np
+import pytest
+
+from repro.core.mhas import MHASConfig, SearchSpace, WeightBank
+from repro.nn import MultiTaskMLP
+
+
+def make_space(**overrides):
+    config = MHASConfig(**overrides)
+    return SearchSpace(input_dim=20, output_dims={"a": 3, "b": 5}, config=config)
+
+
+class TestMHASConfig:
+    def test_defaults_valid(self):
+        MHASConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MHASConfig(max_shared_layers=-1)
+        with pytest.raises(ValueError):
+            MHASConfig(size_choices=())
+        with pytest.raises(ValueError):
+            MHASConfig(iterations=0)
+
+
+class TestSearchSpace:
+    def test_scopes_cover_shared_then_tasks(self):
+        space = make_space()
+        assert space.scopes[0] == ("shared", 2)
+        assert [s for s, _ in space.scopes[1:]] == ["a", "b"]
+
+    def test_n_options(self):
+        space = make_space(size_choices=(16, 32, 64))
+        assert space.n_options == 4  # STOP + 3 widths
+
+    def test_spec_from_empty_decisions(self):
+        spec = make_space().spec_from_decisions([])
+        assert spec.shared_sizes == ()
+        assert spec.private_sizes == {"a": (), "b": ()}
+
+    def test_spec_from_full_decisions(self):
+        space = make_space(size_choices=(16, 32))
+        # shared: two layers (16, 32); task a: stop; task b: one layer 32.
+        decisions = [1, 2, 0, 2, 0]
+        spec = space.spec_from_decisions(decisions)
+        assert spec.shared_sizes == (16, 32)
+        assert spec.private_sizes["a"] == ()
+        assert spec.private_sizes["b"] == (32,)
+
+    def test_stop_terminates_scope_early(self):
+        space = make_space(size_choices=(16,))
+        # STOP immediately in shared scope; next decisions go to task a.
+        spec = space.spec_from_decisions([0, 1, 1, 0])
+        assert spec.shared_sizes == ()
+        assert spec.private_sizes["a"] == (16, 16)
+
+    def test_search_space_size(self):
+        space = make_space(size_choices=(16, 32), max_shared_layers=1,
+                           max_private_layers=1)
+        # chains of length <=1 over 2 sizes: 3 options per scope, 3 scopes.
+        assert space.search_space_size() == 27
+
+    def test_invalid_input_dim(self):
+        with pytest.raises(ValueError):
+            SearchSpace(0, {"a": 2}, MHASConfig())
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            SearchSpace(4, {}, MHASConfig())
+
+
+class TestWeightBank:
+    def test_same_shape_same_scope_shares(self):
+        bank = WeightBank(np.random.default_rng(0))
+        w1, b1 = bank.provider("shared/0", 10, 20)
+        w2, b2 = bank.provider("shared/0", 10, 20)
+        assert w1 is w2 and b1 is b2
+        assert len(bank) == 1
+
+    def test_different_shapes_distinct(self):
+        bank = WeightBank(np.random.default_rng(0))
+        bank.provider("shared/0", 10, 20)
+        bank.provider("shared/0", 10, 40)
+        assert len(bank) == 2
+
+    def test_sampled_models_share_trained_weights(self):
+        """Two architectures overlapping on a layer literally train the same
+        tensors (ENAS parameter sharing)."""
+        rng = np.random.default_rng(1)
+        bank = WeightBank(rng)
+        space = make_space(size_choices=(16, 32))
+        spec_a = space.spec_from_decisions([1, 0, 0, 0])
+        spec_b = space.spec_from_decisions([1, 2, 0, 0])
+        model_a = MultiTaskMLP(spec_a, weights=bank.provider)
+        model_b = MultiTaskMLP(spec_b, weights=bank.provider)
+        assert model_a.shared[0].weight is model_b.shared[0].weight
+
+    def test_total_params(self):
+        bank = WeightBank(np.random.default_rng(0))
+        bank.provider("x", 10, 20)
+        assert bank.total_params() == 10 * 20 + 20

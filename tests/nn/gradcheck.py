@@ -1,0 +1,32 @@
+"""Numeric gradient checking helper shared by the nn tests."""
+
+import numpy as np
+
+
+def numeric_grad(fn, param_value, indices, eps=1e-4):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. selected entries
+    of ``param_value`` (modified in place and restored)."""
+    grads = []
+    flat = param_value.reshape(-1)
+    for idx in indices:
+        original = flat[idx]
+        flat[idx] = original + eps
+        plus = fn()
+        flat[idx] = original - eps
+        minus = fn()
+        flat[idx] = original
+        grads.append((plus - minus) / (2 * eps))
+    return np.array(grads)
+
+
+def check_param_grad(fn, param, rng, n_checks=6, eps=1e-3, rtol=5e-2, atol=1e-4):
+    """Assert analytic ``param.grad`` matches numeric gradients of ``fn``.
+
+    ``fn`` must recompute the scalar loss from scratch (no grad side effects
+    needed).  ``param.grad`` must already hold the analytic gradient.
+    """
+    total = param.value.size
+    indices = rng.choice(total, size=min(n_checks, total), replace=False)
+    numeric = numeric_grad(fn, param.value, indices, eps=eps)
+    analytic = param.grad.reshape(-1)[indices]
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

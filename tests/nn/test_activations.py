@@ -1,0 +1,67 @@
+"""Tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import log_softmax, relu, sigmoid, softmax, tanh
+from repro.nn.activations import relu_grad, sigmoid_grad, tanh_grad
+
+
+class TestReLU:
+    def test_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert relu(x).tolist() == [0.0, 0.0, 3.0]
+
+    def test_grad(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert relu_grad(x).tolist() == [0.0, 0.0, 1.0]
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_saturation_is_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.isfinite(out).all()
+
+    def test_grad_matches_numeric(self):
+        x = np.linspace(-3, 3, 7)
+        y = sigmoid(x)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid_grad(y), numeric, rtol=1e-5)
+
+
+class TestTanh:
+    def test_grad_matches_numeric(self):
+        x = np.linspace(-2, 2, 9)
+        y = tanh(x)
+        eps = 1e-6
+        numeric = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(tanh_grad(y), numeric, rtol=1e-5, atol=1e-8)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 7))
+        out = softmax(logits)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0),
+                                   rtol=1e-6)
+
+    def test_large_logits_stable(self):
+        out = softmax(np.array([[1e4, -1e4]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(1).normal(size=(4, 6))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), rtol=1e-6
+        )

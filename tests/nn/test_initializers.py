@@ -1,0 +1,50 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import glorot_uniform, orthogonal, uniform, zeros
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(55)
+
+
+class TestGlorot:
+    def test_bounds(self, np_rng):
+        weights = glorot_uniform((50, 80), np_rng)
+        limit = np.sqrt(6.0 / (50 + 80))
+        assert np.abs(weights).max() <= limit
+        assert weights.dtype == np.float32
+
+    def test_vector_shape(self, np_rng):
+        assert glorot_uniform((16,), np_rng).shape == (16,)
+
+    def test_spread_fills_range(self, np_rng):
+        weights = glorot_uniform((100, 100), np_rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(weights).max() > 0.8 * limit
+
+
+class TestOrthogonal:
+    def test_square_orthogonality(self, np_rng):
+        matrix = orthogonal((32, 32), np_rng)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(32), atol=1e-4)
+
+    def test_rectangular_rows_orthonormal(self, np_rng):
+        matrix = orthogonal((8, 32), np_rng)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(8), atol=1e-4)
+
+
+class TestUniform:
+    def test_scale(self, np_rng):
+        weights = uniform((1000,), np_rng, scale=0.05)
+        assert np.abs(weights).max() <= 0.05
+
+
+class TestZeros:
+    def test_zeros(self):
+        out = zeros((3, 4))
+        assert (out == 0).all()
+        assert out.dtype == np.float32

@@ -1,0 +1,135 @@
+"""Gradient-checked tests for Dense and Embedding layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Embedding, Parameter
+
+from .gradcheck import check_param_grad
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(42)
+
+
+class TestDenseForward:
+    def test_linear_output(self, np_rng):
+        layer = Dense(3, 2, rng=np_rng, activation="linear")
+        x = np.ones((1, 3), dtype=np.float32)
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_relu_clamps(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng, activation="relu")
+        layer.weight.value[...] = np.array([[1.0, -1.0], [1.0, -1.0]])
+        out = layer.forward(np.array([[1.0, 1.0]], dtype=np.float32))
+        assert out[0, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(0.0)
+
+    def test_invalid_activation_rejected(self, np_rng):
+        with pytest.raises(ValueError):
+            Dense(2, 2, rng=np_rng, activation="gelu")
+
+    def test_requires_rng_or_weights(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2)
+
+    def test_shared_weight_shape_validated(self, np_rng):
+        w = Parameter(np.zeros((3, 3), dtype=np.float32))
+        b = Parameter(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ValueError):
+            Dense(2, 3, weight=w, bias=b)
+
+
+class TestDenseBackward:
+    @pytest.mark.parametrize("activation", ["linear", "relu"])
+    def test_gradients_match_numeric(self, np_rng, activation):
+        layer = Dense(4, 3, rng=np_rng, activation=activation)
+        x = np_rng.normal(size=(8, 4)).astype(np.float32)
+        target = np_rng.normal(size=(8, 3)).astype(np.float32)
+
+        def loss_fn():
+            out = layer.forward(x, train=False)
+            return float(0.5 * np.sum((out - target) ** 2))
+
+        out = layer.forward(x, train=True)
+        layer.backward(out - target)
+        check_param_grad(loss_fn, layer.weight, np_rng)
+        check_param_grad(loss_fn, layer.bias, np_rng)
+
+    def test_input_gradient(self, np_rng):
+        layer = Dense(4, 3, rng=np_rng, activation="linear")
+        x = np_rng.normal(size=(5, 4)).astype(np.float32)
+        dout = np_rng.normal(size=(5, 3)).astype(np.float32)
+        layer.forward(x, train=True)
+        dx = layer.backward(dout)
+        np.testing.assert_allclose(dx, dout @ layer.weight.value.T, rtol=1e-5)
+
+    def test_backward_without_forward_raises(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_gradients_accumulate(self, np_rng):
+        layer = Dense(2, 2, rng=np_rng, activation="linear")
+        x = np.ones((1, 2), dtype=np.float32)
+        dout = np.ones((1, 2), dtype=np.float32)
+        layer.forward(x, train=True)
+        layer.backward(dout)
+        first = layer.weight.grad.copy()
+        layer.forward(x, train=True)
+        layer.backward(dout)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestParameterSharing:
+    def test_two_layers_share_parameters(self, np_rng):
+        w = Parameter(np.zeros((2, 2), dtype=np.float32))
+        b = Parameter(np.zeros(2, dtype=np.float32))
+        a = Dense(2, 2, weight=w, bias=b, activation="linear")
+        c = Dense(2, 2, weight=w, bias=b, activation="linear")
+        x = np.ones((1, 2), dtype=np.float32)
+        a.forward(x, train=True)
+        a.backward(np.ones((1, 2), dtype=np.float32))
+        c.forward(x, train=True)
+        c.backward(np.ones((1, 2), dtype=np.float32))
+        # Both backward passes accumulated into the same tensor.
+        np.testing.assert_allclose(w.grad, 2 * np.ones((2, 2)))
+
+
+class TestEmbedding:
+    def test_lookup(self, np_rng):
+        emb = Embedding(5, 3, rng=np_rng)
+        out = emb.forward([1, 4])
+        np.testing.assert_allclose(out[0], emb.table.value[1])
+        np.testing.assert_allclose(out[1], emb.table.value[4])
+
+    def test_out_of_range_rejected(self, np_rng):
+        emb = Embedding(5, 3, rng=np_rng)
+        with pytest.raises(IndexError):
+            emb.forward([5])
+
+    def test_backward_scatter_adds(self, np_rng):
+        emb = Embedding(4, 2, rng=np_rng)
+        emb.forward([1, 1, 2], train=True)
+        emb.backward(np.ones((3, 2), dtype=np.float32))
+        np.testing.assert_allclose(emb.table.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.table.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(emb.table.grad[0], [0.0, 0.0])
+
+    def test_backward_without_forward_raises(self, np_rng):
+        emb = Embedding(4, 2, rng=np_rng)
+        with pytest.raises(RuntimeError):
+            emb.backward(np.zeros((1, 2), dtype=np.float32))
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_size(self):
+        assert Parameter(np.ones((3, 4))).size == 12

@@ -1,0 +1,77 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import accuracy, mse, softmax_cross_entropy
+
+from .gradcheck import numeric_grad
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 8))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss == pytest.approx(np.log(8), rel=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        _, grad = softmax_cross_entropy(logits, labels)
+
+        def fn():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        idx = rng.choice(logits.size, size=8, replace=False)
+        numeric = numeric_grad(fn, logits, idx, eps=1e-5)
+        np.testing.assert_allclose(grad.reshape(-1)[idx], numeric, rtol=1e-3,
+                                   atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        logits = np.random.default_rng(4).normal(size=(3, 4))
+        _, grad = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(3), atol=1e-7)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(3), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(2, dtype=np.int64))
+
+
+class TestMSE:
+    def test_zero_when_equal(self):
+        x = np.ones((2, 2))
+        loss, grad = mse(x, x.copy())
+        assert loss == 0.0
+        assert (grad == 0).all()
+
+    def test_value_and_grad(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        loss, grad = mse(pred, target)
+        assert loss == pytest.approx(2.5)
+        np.testing.assert_allclose(grad, [[1.0, 2.0]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_half_correct(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 1])) == 0.5
+
+    def test_empty_is_perfect(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0, dtype=np.int64)) == 1.0

@@ -1,0 +1,106 @@
+"""Tests for SGD/Adam and the exponential learning-rate schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, ExponentialDecay, Parameter
+
+
+def quadratic_param():
+    """Parameter minimizing f(w) = 0.5 * ||w||^2 (gradient = w)."""
+    return Parameter(np.array([10.0, -10.0], dtype=np.float32))
+
+
+class TestExponentialDecay:
+    def test_constant_when_decay_one(self):
+        sched = ExponentialDecay(0.1, 1.0)
+        assert sched.advance() == pytest.approx(0.1)
+        assert sched.advance() == pytest.approx(0.1)
+
+    def test_decays(self):
+        sched = ExponentialDecay(1.0, 0.5)
+        assert sched.advance() == pytest.approx(1.0)
+        assert sched.advance() == pytest.approx(0.5)
+        assert sched.advance() == pytest.approx(0.25)
+
+    def test_minimum_floor(self):
+        sched = ExponentialDecay(1.0, 0.1, minimum=0.5)
+        sched.advance()
+        assert sched.advance() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, 0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, 1.5)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        opt = SGD(lr=0.1)
+        for _ in range(200):
+            param.grad[...] = param.value
+            opt.step([param])
+        assert np.abs(param.value).max() < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        sgd = SGD(lr=0.01)
+        mom = SGD(lr=0.01, momentum=0.9)
+        for _ in range(50):
+            plain.grad[...] = plain.value
+            sgd.step([plain])
+            heavy.grad[...] = heavy.value
+            mom.step([heavy])
+        assert np.abs(heavy.value).max() < np.abs(plain.value).max()
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_step_zeroes_grads(self):
+        param = quadratic_param()
+        param.grad[...] = 1.0
+        SGD(lr=0.1).step([param])
+        assert (param.grad == 0).all()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        opt = Adam(lr=0.5)
+        for _ in range(300):
+            param.grad[...] = param.value
+            opt.step([param])
+        assert np.abs(param.value).max() < 1e-3
+
+    def test_scale_invariance_of_first_step(self):
+        # Adam's first step is ~lr regardless of gradient magnitude.
+        small, large = quadratic_param(), quadratic_param()
+        opt1, opt2 = Adam(lr=0.1), Adam(lr=0.1)
+        small.grad[...] = 1e-3
+        large.grad[...] = 1e3
+        opt1.step([small])
+        opt2.step([large])
+        np.testing.assert_allclose(
+            np.abs(10.0 - small.value[0]), np.abs(10.0 - large.value[0]), rtol=1e-3
+        )
+
+    def test_state_keyed_per_parameter(self):
+        a, b = quadratic_param(), quadratic_param()
+        opt = Adam(lr=0.1)
+        for _ in range(3):
+            a.grad[...] = a.value
+            b.grad[...] = b.value
+            opt.step([a, b])
+        assert len(opt._state) == 2
+
+    def test_schedule_integration(self):
+        param = quadratic_param()
+        opt = Adam(lr=ExponentialDecay(0.1, 0.9))
+        param.grad[...] = param.value
+        opt.step([param])
+        assert opt.schedule.steps == 1

@@ -1,0 +1,74 @@
+"""Tests for the Trainer loop and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, ArchitectureSpec, MultiTaskMLP, Trainer
+
+
+def make_problem(rng, n=64):
+    x = rng.normal(size=(n, 4)).astype(np.float32)
+    labels = {"t": (x[:, 0] > 0).astype(np.int64)}
+    spec = ArchitectureSpec(4, (8,), {"t": ()}, {"t": 2})
+    return x, labels, MultiTaskMLP(spec, rng=rng)
+
+
+class TestFit:
+    def test_loss_decreases(self, rng):
+        x, labels, model = make_problem(rng)
+        trainer = Trainer(model, Adam(0.01), batch_size=16, tol=0.0, rng=rng)
+        result = trainer.fit(x, labels, epochs=30)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_early_stopping_triggers(self, rng):
+        x, labels, model = make_problem(rng)
+        trainer = Trainer(model, Adam(0.01), batch_size=64, tol=1e9, rng=rng)
+        result = trainer.fit(x, labels, epochs=50)
+        assert result.converged
+        assert result.epochs_run == 2  # needs two epochs to compare deltas
+
+    def test_no_early_stop_with_zero_tol(self, rng):
+        x, labels, model = make_problem(rng)
+        trainer = Trainer(model, Adam(0.01), batch_size=64, tol=0.0, rng=rng)
+        result = trainer.fit(x, labels, epochs=5)
+        assert result.epochs_run == 5
+        assert not result.converged
+
+    def test_empty_dataset(self, rng):
+        _, _, model = make_problem(rng)
+        trainer = Trainer(model, rng=rng)
+        result = trainer.fit(np.empty((0, 4), dtype=np.float32),
+                             {"t": np.empty(0, dtype=np.int64)}, epochs=3)
+        assert result.converged
+        assert result.epochs_run == 0
+
+    def test_label_length_validated(self, rng):
+        x, _, model = make_problem(rng)
+        trainer = Trainer(model, rng=rng)
+        with pytest.raises(ValueError):
+            trainer.fit(x, {"t": np.zeros(3, dtype=np.int64)}, epochs=1)
+
+    def test_batch_size_validated(self, rng):
+        _, _, model = make_problem(rng)
+        with pytest.raises(ValueError):
+            Trainer(model, batch_size=0)
+
+    def test_final_loss_property(self, rng):
+        x, labels, model = make_problem(rng)
+        trainer = Trainer(model, Adam(0.01), batch_size=32, tol=0.0, rng=rng)
+        result = trainer.fit(x, labels, epochs=3)
+        assert result.final_loss == result.epoch_losses[-1]
+
+    def test_deterministic_given_seed(self):
+        rng_a = np.random.default_rng(9)
+        x, labels, model_a = make_problem(rng_a)
+        trainer_a = Trainer(model_a, Adam(0.01), batch_size=16, tol=0.0,
+                            rng=np.random.default_rng(1))
+        res_a = trainer_a.fit(x, labels, epochs=5)
+
+        rng_b = np.random.default_rng(9)
+        x_b, labels_b, model_b = make_problem(rng_b)
+        trainer_b = Trainer(model_b, Adam(0.01), batch_size=16, tol=0.0,
+                            rng=np.random.default_rng(1))
+        res_b = trainer_b.fit(x_b, labels_b, epochs=5)
+        np.testing.assert_allclose(res_a.epoch_losses, res_b.epoch_losses)

@@ -1,0 +1,128 @@
+"""Tests for the LRU byte-budgeted BufferPool."""
+
+import pytest
+
+from repro.storage import BufferPool, MemoryBudgetError, StoreStats
+
+
+def make_loader(obj, size, calls):
+    def loader():
+        calls.append(obj)
+        return obj, size
+    return loader
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        pool = BufferPool(budget_bytes=100)
+        calls = []
+        assert pool.get("a", make_loader("A", 10, calls)) == "A"
+        assert pool.get("a", make_loader("A", 10, calls)) == "A"
+        assert len(calls) == 1
+        assert pool.stats.counters["pool_hits"] == 1
+        assert pool.stats.counters["pool_misses"] == 1
+
+    def test_used_bytes_tracked(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put("a", "A", 30)
+        pool.put("b", "B", 20)
+        assert pool.used_bytes == 50
+        assert len(pool) == 2
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(budget_bytes=0)
+
+    def test_unbounded_pool_never_evicts(self):
+        pool = BufferPool(budget_bytes=None)
+        for i in range(100):
+            pool.put(i, i, 1_000_000)
+        assert len(pool) == 100
+        assert pool.stats.counters.get("pool_evictions", 0) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(budget_bytes=30)
+        pool.put("a", "A", 10)
+        pool.put("b", "B", 10)
+        pool.put("c", "C", 10)
+        # Touch "a" so "b" becomes the LRU entry.
+        pool.get("a", make_loader("A", 10, []))
+        pool.put("d", "D", 10)
+        assert "b" not in pool
+        assert "a" in pool and "c" in pool and "d" in pool
+
+    def test_eviction_counter(self):
+        pool = BufferPool(budget_bytes=10)
+        pool.put("a", "A", 10)
+        pool.put("b", "B", 10)
+        assert pool.stats.counters["pool_evictions"] == 1
+
+    def test_budget_respected_after_every_insert(self):
+        pool = BufferPool(budget_bytes=25)
+        for i in range(50):
+            pool.put(i, i, 10)
+            assert pool.used_bytes <= 25
+
+    def test_peak_bytes_recorded(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put("a", "A", 60)
+        pool.put("b", "B", 40)
+        assert pool.peak_bytes == 100
+
+
+class TestOversizedObjects:
+    def test_oversized_object_passes_through_uncached(self):
+        pool = BufferPool(budget_bytes=10)
+        calls = []
+        assert pool.get("big", make_loader("BIG", 100, calls)) == "BIG"
+        assert "big" not in pool
+        # Loaded again on next access: the pool cannot retain it.
+        assert pool.get("big", make_loader("BIG", 100, calls)) == "BIG"
+        assert len(calls) == 2
+
+    def test_strict_pool_raises_on_oversized(self):
+        pool = BufferPool(budget_bytes=10, strict=True)
+        with pytest.raises(MemoryBudgetError):
+            pool.get("big", make_loader("BIG", 100, []))
+
+    def test_strict_put_raises_on_oversized(self):
+        pool = BufferPool(budget_bytes=10, strict=True)
+        with pytest.raises(MemoryBudgetError):
+            pool.put("big", "BIG", 100)
+
+
+class TestInvalidation:
+    def test_invalidate_frees_bytes(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put("a", "A", 40)
+        pool.invalidate("a")
+        assert pool.used_bytes == 0
+        assert "a" not in pool
+
+    def test_invalidate_missing_is_noop(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.invalidate("missing")
+
+    def test_clear(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put("a", "A", 40)
+        pool.put("b", "B", 40)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.used_bytes == 0
+
+    def test_put_replaces_existing_entry(self):
+        pool = BufferPool(budget_bytes=100)
+        pool.put("a", "A", 40)
+        pool.put("a", "A2", 10)
+        assert pool.used_bytes == 10
+        assert pool.get("a", make_loader("x", 1, [])) == "A2"
+
+
+def test_shared_stats_sink():
+    stats = StoreStats()
+    pool = BufferPool(budget_bytes=10, stats=stats)
+    pool.get("a", make_loader("A", 1, []))
+    assert stats.counters["pool_misses"] == 1

@@ -1,0 +1,78 @@
+"""Tests for DiskStore."""
+
+import os
+
+import pytest
+
+from repro.storage import DiskStore, StoreStats
+
+
+class TestReadWrite:
+    def test_write_then_read(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("p0", b"hello")
+            assert store.read("p0") == b"hello"
+
+    def test_missing_blob_raises_keyerror(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            with pytest.raises(KeyError):
+                store.read("nope")
+
+    def test_overwrite(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("p0", b"one")
+            store.write("p0", b"two!")
+            assert store.read("p0") == b"two!"
+            assert store.size("p0") == 4
+
+    def test_delete(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("p0", b"x")
+            store.delete("p0")
+            assert not store.exists("p0")
+            store.delete("p0")  # idempotent
+
+    def test_names_sorted(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("b", b"2")
+            store.write("a", b"1")
+            assert list(store.names()) == ["a", "b"]
+
+
+class TestAccounting:
+    def test_total_bytes(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("a", b"12345")
+            store.write("b", b"123")
+            assert store.total_bytes() == 8
+
+    def test_io_stats_recorded(self, tmp_store_dir):
+        stats = StoreStats()
+        with DiskStore(tmp_store_dir, stats=stats) as store:
+            store.write("a", b"12345")
+            store.read("a")
+        assert stats.counters["blobs_read"] == 1
+        assert stats.counters["bytes_read"] == 5
+        assert stats.seconds("io") >= 0.0
+        assert stats.timers["io"].calls == 1
+
+
+class TestLifecycle:
+    def test_temporary_directory_removed_on_close(self):
+        store = DiskStore()
+        directory = store.directory
+        store.write("a", b"1")
+        assert os.path.isdir(directory)
+        store.close()
+        assert not os.path.isdir(directory)
+
+    def test_user_directory_preserved_on_close(self, tmp_store_dir):
+        store = DiskStore(tmp_store_dir)
+        store.write("a", b"1")
+        store.close()
+        assert os.path.isdir(tmp_store_dir)
+
+    def test_blob_name_with_separator_is_sanitized(self, tmp_store_dir):
+        with DiskStore(tmp_store_dir) as store:
+            store.write("a/b", b"1")
+            assert store.read("a/b") == b"1"

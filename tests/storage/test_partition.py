@@ -1,0 +1,196 @@
+"""Tests for SortedPartitionStore (shared by T_aux and array baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool, SortedPartitionStore, StoreStats
+
+
+def build_store(n=1000, codec="zstd", target=4096, dict_encode=False, pool=None):
+    rng = np.random.default_rng(7)
+    keys = rng.permutation(np.arange(0, n * 3, 3, dtype=np.int64))  # gaps of 3
+    status = rng.choice(np.array(["P", "O", "F"], dtype=object), size=n)
+    qty = rng.integers(0, 50, size=n).astype(np.int64)
+    store = SortedPartitionStore(
+        codec=codec, target_partition_bytes=target, dict_encode=dict_encode, pool=pool
+    )
+    store.build(keys, {"status": status, "qty": qty})
+    return store, keys, status, qty
+
+
+class TestBuild:
+    def test_row_count_and_columns(self):
+        store, keys, _, _ = build_store()
+        assert len(store) == keys.size
+        assert store.column_names == ("status", "qty")
+
+    def test_multiple_partitions_created(self):
+        store, _, _, _ = build_store(n=2000, target=2048)
+        assert len(store.partitions) > 1
+
+    def test_partitions_ordered_and_disjoint(self):
+        store, _, _, _ = build_store(n=2000, target=2048)
+        metas = store.partitions
+        for left, right in zip(metas, metas[1:]):
+            assert left.last_key < right.first_key
+
+    def test_mismatched_column_length_rejected(self):
+        store = SortedPartitionStore()
+        with pytest.raises(ValueError, match="rows"):
+            store.build(np.arange(5), {"x": np.arange(4)})
+
+    def test_duplicate_keys_rejected(self):
+        store = SortedPartitionStore()
+        with pytest.raises(ValueError, match="unique"):
+            store.build(np.array([1, 1, 2]), {"x": np.arange(3)})
+
+    def test_empty_build(self):
+        store = SortedPartitionStore()
+        store.build(np.empty(0, dtype=np.int64), {"x": np.empty(0, dtype=np.int64)})
+        found, values = store.lookup_batch([1, 2])
+        assert not found.any()
+
+    def test_rebuild_replaces_partitions(self):
+        store, _, _, _ = build_store(n=500)
+        old_bytes = store.stored_bytes()
+        store.build(np.arange(10, dtype=np.int64), {
+            "status": np.array(["A"] * 10, dtype=object),
+            "qty": np.arange(10, dtype=np.int64),
+        })
+        assert len(store) == 10
+        assert store.stored_bytes() < old_bytes
+
+
+class TestLookup:
+    def test_every_stored_key_found_exactly(self):
+        store, keys, status, qty = build_store()
+        found, values = store.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(values["status"], status)
+        assert np.array_equal(values["qty"], qty)
+
+    def test_missing_keys_not_found(self):
+        store, keys, _, _ = build_store()
+        missing = keys + 1  # gaps of 3 guarantee these are absent
+        found, _ = store.lookup_batch(missing)
+        assert not found.any()
+
+    def test_mixed_hit_miss_batch(self):
+        store, keys, status, _ = build_store()
+        batch = np.array([keys[0], keys[0] + 1, keys[-1]])
+        found, values = store.lookup_batch(batch)
+        assert found.tolist() == [True, False, True]
+        assert values["status"][0] == status[0]
+
+    def test_duplicate_query_keys(self):
+        store, keys, status, _ = build_store()
+        batch = np.array([keys[5], keys[5], keys[5]])
+        found, values = store.lookup_batch(batch)
+        assert found.all()
+        assert (values["status"] == status[5]).all()
+
+    def test_keys_below_and_above_range(self):
+        store, keys, _, _ = build_store()
+        found, _ = store.lookup_batch([-100, int(keys.max()) + 100])
+        assert not found.any()
+
+    def test_empty_batch(self):
+        store, _, _, _ = build_store()
+        found, values = store.lookup_batch(np.empty(0, dtype=np.int64))
+        assert found.size == 0
+        assert values["qty"].size == 0
+
+    def test_locate_boundaries(self):
+        store, _, _, _ = build_store(n=2000, target=2048)
+        metas = store.partitions
+        pids = store.locate(np.array([metas[0].first_key, metas[0].last_key,
+                                      metas[1].first_key]))
+        assert pids.tolist() == [0, 0, 1]
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", ["none", "gzip", "zstd", "lzma"])
+    def test_lookup_correct_under_every_codec(self, codec):
+        store, keys, status, qty = build_store(n=300, codec=codec)
+        found, values = store.lookup_batch(keys[:50])
+        assert found.all()
+        assert np.array_equal(values["qty"], qty[:50])
+
+    def test_compressed_store_smaller_than_uncompressed(self):
+        plain, _, _, _ = build_store(n=3000, codec="none")
+        packed, _, _, _ = build_store(n=3000, codec="lzma")
+        assert packed.stored_bytes() < plain.stored_bytes()
+
+    def test_dictionary_encoding_roundtrip(self):
+        store, keys, status, qty = build_store(n=500, dict_encode=True)
+        found, values = store.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(values["status"], status)
+
+
+class TestBufferPoolIntegration:
+    def test_partition_decompressed_once_per_batch(self):
+        pool = BufferPool(budget_bytes=None)
+        store, keys, _, _ = build_store(n=2000, target=2048, pool=pool)
+        store.lookup_batch(keys)  # touches every partition once
+        assert pool.stats.counters["pool_misses"] == len(store.partitions)
+        store.lookup_batch(keys)
+        assert pool.stats.counters["pool_misses"] == len(store.partitions)
+
+    def test_tiny_pool_forces_reloads(self):
+        pool = BufferPool(budget_bytes=1)  # nothing fits
+        store, keys, _, _ = build_store(n=2000, target=2048, pool=pool)
+        store.lookup_batch(keys)
+        store.lookup_batch(keys)
+        assert pool.stats.counters.get("pool_hits", 0) == 0
+
+    def test_stats_cover_io_and_decompress(self):
+        stats = StoreStats()
+        store = SortedPartitionStore(codec="zstd", stats=stats,
+                                     target_partition_bytes=1024)
+        keys = np.arange(500, dtype=np.int64)
+        store.build(keys, {"v": keys * 2})
+        store.lookup_batch(keys)
+        assert stats.seconds("decompress") > 0.0
+        assert stats.seconds("io") > 0.0
+        assert stats.seconds("locate") > 0.0
+
+
+class TestScan:
+    def test_scan_returns_all_rows_sorted(self):
+        store, keys, status, qty = build_store(n=800, target=2048)
+        got_keys, cols = store.scan()
+        order = np.argsort(keys)
+        assert np.array_equal(got_keys, keys[order])
+        assert np.array_equal(cols["qty"], qty[order])
+
+    def test_scan_empty_store(self):
+        store = SortedPartitionStore()
+        store.build(np.empty(0, dtype=np.int64), {"x": np.empty(0, dtype=np.int64)})
+        got_keys, cols = store.scan()
+        assert got_keys.size == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                  max_size=150, unique=True),
+    probe=st.lists(st.integers(min_value=0, max_value=10_000), max_size=50),
+)
+def test_partition_store_matches_dict_model(keys, probe):
+    """Property: lookups agree with a plain dict over the same pairs."""
+    keys_arr = np.array(keys, dtype=np.int64)
+    vals = keys_arr * 7 + 1
+    store = SortedPartitionStore(codec="zstd", target_partition_bytes=512)
+    store.build(keys_arr, {"v": vals})
+    model = dict(zip(keys, (vals).tolist()))
+
+    found, values = store.lookup_batch(np.array(probe, dtype=np.int64))
+    for i, key in enumerate(probe):
+        if key in model:
+            assert found[i]
+            assert values["v"][i] == model[key]
+        else:
+            assert not found[i]

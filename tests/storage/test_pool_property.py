@@ -1,0 +1,51 @@
+"""Property-based tests for the BufferPool invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    budget=st.integers(min_value=1, max_value=200),
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20),
+                  st.integers(min_value=1, max_value=80)),
+        max_size=60,
+    ),
+)
+def test_pool_never_exceeds_budget(budget, ops):
+    """Invariant 6 (DESIGN.md): used bytes never exceed the budget."""
+    pool = BufferPool(budget_bytes=budget)
+    for key, size in ops:
+        pool.get(key, lambda s=size: (object(), s))
+        assert pool.used_bytes <= budget
+    assert pool.peak_bytes <= budget
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                 max_size=50),
+)
+def test_pool_serves_correct_object_per_key(ops):
+    """Whatever the eviction pattern, get(key) returns key's object."""
+    pool = BufferPool(budget_bytes=30)
+    for key in ops:
+        value = pool.get(key, lambda k=key: (f"object-{k}", 10))
+        assert value == f"object-{key}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10), min_size=1,
+                  max_size=40),
+)
+def test_unbounded_pool_loads_each_key_once(keys):
+    pool = BufferPool(budget_bytes=None)
+    loads = []
+    for key in keys:
+        pool.get(key, lambda k=key: (loads.append(k) or k, 1))
+    assert len(loads) == len(set(keys))

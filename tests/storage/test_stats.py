@@ -1,0 +1,75 @@
+"""Tests for StoreStats and Stopwatch."""
+
+import time
+
+from repro.storage import Stopwatch, StoreStats
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.timing():
+            time.sleep(0.01)
+        with watch.timing():
+            time.sleep(0.01)
+        assert watch.seconds >= 0.02
+        assert watch.calls == 2
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.timing():
+            pass
+        watch.reset()
+        assert watch.seconds == 0.0
+        assert watch.calls == 0
+
+    def test_records_on_exception(self):
+        watch = Stopwatch()
+        try:
+            with watch.timing():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.calls == 1
+
+
+class TestStoreStats:
+    def test_counters_created_on_first_use(self):
+        stats = StoreStats()
+        stats.bump("reads")
+        stats.bump("reads", 4)
+        assert stats.counters["reads"] == 5
+
+    def test_timer_registry(self):
+        stats = StoreStats()
+        with stats.timing("io"):
+            pass
+        assert stats.seconds("io") >= 0.0
+        assert stats.seconds("never_used") == 0.0
+        assert stats.timer("io") is stats.timer("io")
+
+    def test_total_seconds_sums_timers(self):
+        stats = StoreStats()
+        with stats.timing("a"):
+            time.sleep(0.005)
+        with stats.timing("b"):
+            time.sleep(0.005)
+        assert stats.total_seconds() >= 0.01
+
+    def test_snapshot_merges_counters_and_timers(self):
+        stats = StoreStats()
+        stats.bump("hits", 3)
+        with stats.timing("io"):
+            pass
+        snap = stats.snapshot()
+        assert snap["hits"] == 3
+        assert "io_seconds" in snap
+
+    def test_reset_clears_everything(self):
+        stats = StoreStats()
+        stats.bump("hits")
+        with stats.timing("io"):
+            pass
+        stats.reset()
+        assert stats.counters == {}
+        assert stats.seconds("io") == 0.0
