@@ -6,6 +6,9 @@ Public API highlights
 - :class:`repro.DeepMapping` / :class:`repro.DeepMappingConfig` — the
   hybrid learned structure (model + auxiliary table + existence bit vector
   + decode map) and its build knobs.
+- :class:`repro.ShardedDeepMapping` / :class:`repro.ShardingConfig` — the
+  horizontally sharded store: N independent DeepMapping shards behind one
+  facade, with vectorized routing and parallel batched lookups.
 - :mod:`repro.core.mhas` — multi-task hybrid architecture search.
 - :mod:`repro.baselines` — AB/ABC-*, HB/HBC-*, DeepSqueeze comparators.
 - :mod:`repro.data` — TPC-H / TPC-DS / synthetic / crop dataset generators.
@@ -25,7 +28,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, bench, core, data, nn, storage
+from . import baselines, bench, core, data, nn, shard, storage
 from .core import (
     DeepMapping,
     DeepMappingConfig,
@@ -37,6 +40,7 @@ from .core import (
     lookup_range,
 )
 from .data import ColumnTable
+from .shard import ShardedDeepMapping, ShardingConfig
 
 __all__ = [
     "__version__",
@@ -46,6 +50,8 @@ __all__ = [
     "SizeReport",
     "MultiKeyDeepMapping",
     "MultiRelationDeepMapping",
+    "ShardedDeepMapping",
+    "ShardingConfig",
     "lookup_range",
     "build_range_view",
     "ColumnTable",
@@ -54,5 +60,6 @@ __all__ = [
     "core",
     "data",
     "nn",
+    "shard",
     "storage",
 ]

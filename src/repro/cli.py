@@ -7,25 +7,32 @@ Subcommands:
 - ``query``  — point lookups against a saved structure
 - ``bench``  — quick size/latency comparison against baselines
 
+``build --shards N`` fits a sharded store instead of a monolithic one; the
+output path is then a directory (manifest + one payload per shard), and
+``info`` / ``query`` detect it automatically.
+
 Examples::
 
     python -m repro build --dataset tpch:orders --scale 0.2 --out orders.dm
+    python -m repro build --dataset tpch:orders --shards 4 --out orders.dms
     python -m repro info orders.dm
-    python -m repro query orders.dm --key o_orderkey=1 --key o_orderkey=3
+    python -m repro query orders.dms --key o_orderkey=1 --key o_orderkey=3
     python -m repro bench --dataset synthetic:multi-high --systems DM-Z,ABC-Z
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from .bench import format_storage_latency_table, run_comparison
 from .core import DeepMapping, DeepMappingConfig
 from .data import ColumnTable, crop, synthetic, tpcds, tpch
+from .shard import ShardedDeepMapping, ShardingConfig, is_sharded_store
 
 __all__ = ["main", "load_dataset"]
 
@@ -74,11 +81,31 @@ def _config_from_args(args: argparse.Namespace) -> DeepMappingConfig:
     return DeepMappingConfig(**kwargs)
 
 
+def _load_structure(path: str) -> Union[DeepMapping, ShardedDeepMapping]:
+    """Open a saved structure, monolithic or sharded, by inspecting ``path``."""
+    if is_sharded_store(path):
+        return ShardedDeepMapping.load(path)
+    if os.path.isdir(path):
+        raise SystemExit(f"{path!r} is a directory without a sharded-store "
+                         "manifest; expected a .dm file or a store directory")
+    return DeepMapping.load(path)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     table = load_dataset(args.dataset, args.scale, args.seed)
     print(f"building DeepMapping over {table.name}: {table.n_rows} rows, "
           f"{table.uncompressed_bytes() // 1024} KB raw")
-    dm = DeepMapping.fit(table, _config_from_args(args))
+    if args.shards > 1:
+        dm = ShardedDeepMapping.fit(
+            table, _config_from_args(args),
+            ShardingConfig(n_shards=args.shards,
+                           strategy=args.shard_strategy))
+        print(f"sharded {args.shard_strategy} x{args.shards}: "
+              f"rows/shard {dm.shard_row_counts()}")
+    else:
+        dm = DeepMapping.fit(table, _config_from_args(args))
     report = dm.size_report()
     print(f"hybrid: {report.total_bytes // 1024} KB "
           f"(ratio {report.compression_ratio:.3f}); "
@@ -89,10 +116,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    dm = DeepMapping.load(args.path)
+    dm = _load_structure(args.path)
     report = dm.size_report()
     print(f"keys: {dm.key_names}; values: {list(dm.value_names)}; "
           f"live rows: {len(dm)}")
+    if isinstance(dm, ShardedDeepMapping):
+        print(f"shards:       {dm.n_shards} "
+              f"({dm.sharding.strategy}; rows {dm.shard_row_counts()})")
     print(f"model:        {report.model_bytes:>10,} B")
     print(f"aux table:    {report.aux_bytes:>10,} B ({report.n_in_aux} rows)")
     print(f"exist vector: {report.exist_bytes:>10,} B")
@@ -124,7 +154,7 @@ def _parse_key(pairs: List[str], key_names) -> Dict[str, np.ndarray]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    dm = DeepMapping.load(args.path)
+    dm = _load_structure(args.path)
     keys = _parse_key(args.key, dm.key_names)
     n = len(next(iter(keys.values())))
     if n == 0:
@@ -141,6 +171,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        raise SystemExit("bench compares monolithic systems; for shard "
+                         "scaling run benchmarks/bench_sharding.py")
     table = load_dataset(args.dataset, args.scale, args.seed)
     systems = args.systems.split(",")
     results = run_comparison(
@@ -174,6 +207,12 @@ def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--search", action="store_true",
                         help="run MHAS instead of fixed layer sizes")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the key domain across N independent "
+                             "shards (N>1 saves a directory store)")
+    parser.add_argument("--shard-strategy", default="range",
+                        choices=["range", "hash"],
+                        help="shard placement policy (with --shards > 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:

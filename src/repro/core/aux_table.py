@@ -43,6 +43,11 @@ class AuxiliaryTable:
         Partition compression settings (paper's DM-Z vs DM-L knob).
     disk / pool / stats:
         Storage substrate; private instances created when omitted.
+    name_prefix:
+        Partition blob-name prefix.  Callers sharing one disk store or
+        buffer pool across several auxiliary tables (the sharded store)
+        must give each table a distinct prefix so cached partitions never
+        collide.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class AuxiliaryTable:
         pool: Optional[BufferPool] = None,
         stats: Optional[StoreStats] = None,
         auto_compact_rows: int = 4096,
+        name_prefix: str = "aux",
     ):
         if not tasks:
             raise ValueError("at least one task is required")
@@ -68,7 +74,7 @@ class AuxiliaryTable:
             disk=disk,
             pool=pool,
             stats=self.stats,
-            name_prefix="aux",
+            name_prefix=name_prefix,
         )
         self._overlay: Dict[int, Tuple[int, ...]] = {}
         self._tombstones: set = set()
@@ -85,6 +91,27 @@ class AuxiliaryTable:
             max_code = int(col.max()) if col.size else 0
             columns[task] = col.astype(minimal_int_dtype(max_code))
         self._store.build(flat_keys, columns)
+        self._overlay.clear()
+        self._tombstones.clear()
+
+    @property
+    def pool(self) -> BufferPool:
+        """The buffer pool caching this table's decompressed partitions."""
+        return self._store.pool
+
+    @property
+    def name_prefix(self) -> str:
+        """Partition blob-name prefix (see the constructor)."""
+        return self._store.name_prefix
+
+    def drop_storage(self) -> None:
+        """Delete this table's partitions and purge them from the pool.
+
+        Called when a rebuilt structure replaces this table: the successor
+        reuses the same pool and name prefix, so stale cached blocks must
+        not survive under the names the successor will fault in.
+        """
+        self._store.drop_storage()
         self._overlay.clear()
         self._tombstones.clear()
 

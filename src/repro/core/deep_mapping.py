@@ -38,10 +38,56 @@ from .config import DeepMappingConfig
 from .exist_index import ExistenceIndex, load_existence, make_existence_index
 from .modify import ModificationTracker, estimate_batch_bytes
 
-__all__ = ["DeepMapping", "LookupResult", "SizeReport"]
+__all__ = ["DeepMapping", "LookupResult", "SizeReport",
+           "normalize_keys", "normalize_rows"]
 
 KeysLike = Union[Dict[str, np.ndarray], ColumnTable, np.ndarray, list]
 RowsLike = Union[Dict[str, np.ndarray], ColumnTable]
+
+
+def normalize_keys(keys: KeysLike, key_names: Tuple[str, ...]) -> Dict[str, np.ndarray]:
+    """Coerce any accepted key shape to a name->array dict.
+
+    Shared by every mapping facade (monolithic and sharded) so they accept
+    identical inputs: a ColumnTable, a dict of columns, a flat array for a
+    single-column key, or an (n, k) array for a composite key.
+    """
+    if isinstance(keys, ColumnTable):
+        return {k: keys.column(k) for k in key_names}
+    if isinstance(keys, dict):
+        missing = [k for k in key_names if k not in keys]
+        if missing:
+            raise KeyError(f"missing key columns: {missing}")
+        return {k: np.asarray(keys[k]) for k in key_names}
+    arr = np.asarray(keys)
+    if len(key_names) == 1:
+        return {key_names[0]: arr.reshape(-1)}
+    if arr.ndim == 2 and arr.shape[1] == len(key_names):
+        return {k: arr[:, i] for i, k in enumerate(key_names)}
+    raise ValueError(
+        f"cannot interpret keys of shape {arr.shape} for "
+        f"composite key {key_names}"
+    )
+
+
+def normalize_rows(
+    rows: RowsLike,
+    key_names: Tuple[str, ...],
+    value_names: Tuple[str, ...],
+) -> Dict[str, np.ndarray]:
+    """Coerce full rows (keys + values) to a name->array dict, validating
+    that exactly the expected columns are supplied."""
+    if isinstance(rows, ColumnTable):
+        columns = rows.columns_dict()
+    else:
+        columns = {n: np.asarray(v) for n, v in rows.items()}
+    expected = set(key_names) | set(value_names)
+    if set(columns) != expected:
+        raise ValueError(
+            f"rows must supply exactly the columns {sorted(expected)}; "
+            f"got {sorted(columns)}"
+        )
+    return columns
 
 
 @dataclass
@@ -161,6 +207,7 @@ class DeepMapping:
         pool: Optional[BufferPool] = None,
         stats: Optional[StoreStats] = None,
         warm_start: Optional[Dict[str, np.ndarray]] = None,
+        aux_name_prefix: str = "aux",
     ) -> "DeepMapping":
         """Train a hybrid structure that losslessly represents ``table``.
 
@@ -173,6 +220,10 @@ class DeepMapping:
         previous model (see :meth:`rebuild`): tensors whose shape still
         matches are copied before training, implementing the paper's
         model-reuse retraining (Sec. V-D future work).
+
+        ``aux_name_prefix`` names this structure's auxiliary partitions;
+        callers co-hosting several structures on one disk store or buffer
+        pool (e.g. the sharded store) must keep prefixes distinct.
         """
         config = config if config is not None else DeepMappingConfig()
         stats = stats if stats is not None else StoreStats()
@@ -240,6 +291,7 @@ class DeepMapping:
             pool=pool,
             stats=stats,
             auto_compact_rows=config.aux_auto_compact_rows,
+            name_prefix=aux_name_prefix,
         )
         mis = cls._misclassified_mask(session, x, labels, config.inference_batch)
         aux.build(flat[mis], {t: labels[t][mis] for t in fdecode.columns})
@@ -354,6 +406,16 @@ class DeepMapping:
         result = self.lookup(key_cols)
         return next(result.rows())
 
+    def contains_batch(self, keys: KeysLike) -> np.ndarray:
+        """Liveness test per key — no inference, just ``V_exist``.
+
+        The cheap membership predicate behind lookup/delete/update; also
+        used by the sharded facade to pre-validate mutation batches.
+        """
+        key_cols = self._normalize_keys(keys)
+        flat, in_domain = self.key_codec.try_flatten(key_cols)
+        return self.exist.test_batch(flat) & in_domain
+
     # ------------------------------------------------------------------
     # Modifications (paper Algorithms 3-5)
     # ------------------------------------------------------------------
@@ -450,13 +512,20 @@ class DeepMapping:
         When ``config.warm_start_rebuild`` is set (default), the retrain is
         initialized from the current model's weights — the paper's
         model-reuse optimization for its expensive retraining step.
+
+        The rebuilt auxiliary table keeps this structure's buffer pool and
+        partition-name prefix (co-hosted structures like the sharded store
+        rely on both), and the retired table's cached partitions are purged
+        so the successor never reads stale blocks under its own names.
         """
         table = self.to_table()
         warm = (self.session.state_arrays()
                 if self.config.warm_start_rebuild and not self.config.use_search
                 else None)
-        fresh = DeepMapping.fit(table, self.config, stats=self.stats,
-                                warm_start=warm)
+        fresh = DeepMapping.fit(table, self.config, pool=self.aux.pool,
+                                stats=self.stats, warm_start=warm,
+                                aux_name_prefix=self.aux.name_prefix)
+        self.aux.drop_storage()
         self.key_codec = fresh.key_codec
         self.key_encoder = fresh.key_encoder
         self.session = fresh.session
@@ -519,6 +588,7 @@ class DeepMapping:
         disk: Optional[DiskStore] = None,
         pool: Optional[BufferPool] = None,
         stats: Optional[StoreStats] = None,
+        aux_name_prefix: str = "aux",
     ) -> "DeepMapping":
         """Inverse of :meth:`save`."""
         with open(path, "rb") as handle:
@@ -534,6 +604,7 @@ class DeepMapping:
             pool=pool,
             stats=stats,
             auto_compact_rows=config.aux_auto_compact_rows,
+            name_prefix=aux_name_prefix,
         )
         aux.build(state["aux_keys"], state["aux_codes"])
         return cls(
@@ -552,35 +623,10 @@ class DeepMapping:
     # Input normalization
     # ------------------------------------------------------------------
     def _normalize_keys(self, keys: KeysLike) -> Dict[str, np.ndarray]:
-        if isinstance(keys, ColumnTable):
-            return {k: keys.column(k) for k in self.key_names}
-        if isinstance(keys, dict):
-            missing = [k for k in self.key_names if k not in keys]
-            if missing:
-                raise KeyError(f"missing key columns: {missing}")
-            return {k: np.asarray(keys[k]) for k in self.key_names}
-        arr = np.asarray(keys)
-        if len(self.key_names) == 1:
-            return {self.key_names[0]: arr.reshape(-1)}
-        if arr.ndim == 2 and arr.shape[1] == len(self.key_names):
-            return {k: arr[:, i] for i, k in enumerate(self.key_names)}
-        raise ValueError(
-            f"cannot interpret keys of shape {arr.shape} for "
-            f"composite key {self.key_names}"
-        )
+        return normalize_keys(keys, self.key_names)
 
     def _normalize_rows(self, rows: RowsLike) -> Dict[str, np.ndarray]:
-        if isinstance(rows, ColumnTable):
-            columns = rows.columns_dict()
-        else:
-            columns = {n: np.asarray(v) for n, v in rows.items()}
-        expected = set(self.key_names) | set(self.value_names)
-        if set(columns) != expected:
-            raise ValueError(
-                f"rows must supply exactly the columns {sorted(expected)}; "
-                f"got {sorted(columns)}"
-            )
-        return columns
+        return normalize_rows(rows, self.key_names, self.value_names)
 
     def _flatten_or_rebuild_domain(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
         """Flatten new keys; widen the key domain via rebuild if needed."""
@@ -593,7 +639,10 @@ class DeepMapping:
         base = self.to_table()
         incoming = ColumnTable(columns, key=self.key_names)
         merged = base.concat(incoming) if base.n_rows else incoming
-        fresh = DeepMapping.fit(merged, self.config, stats=self.stats)
+        fresh = DeepMapping.fit(merged, self.config, pool=self.aux.pool,
+                                stats=self.stats,
+                                aux_name_prefix=self.aux.name_prefix)
+        self.aux.drop_storage()
         self.__dict__.update(fresh.__dict__)
         self.tracker.mark_rebuilt()
         # All rows (including the new ones) are now inside the structure;

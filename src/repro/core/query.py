@@ -9,18 +9,30 @@ minimal parser for single-table exact-match statements
 (:func:`run_select`).  Anything beyond projections and ``AND``-ed key
 equality predicates is rejected — richer queries belong to a real engine;
 DeepMapping is the access method underneath.
+
+Both entry points accept any mapping exposing ``key_names`` /
+``value_names`` / ``lookup`` — a single
+:class:`~repro.core.deep_mapping.DeepMapping` or a
+:class:`~repro.shard.ShardedDeepMapping` — so queries run unchanged over
+monolithic and sharded stores.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .deep_mapping import DeepMapping
 
-__all__ = ["select", "run_select", "QueryError"]
+if TYPE_CHECKING:  # avoid a runtime import cycle (shard imports core)
+    from ..shard import ShardedDeepMapping
+
+__all__ = ["select", "run_select", "QueryError", "MappingLike"]
+
+#: Any point-lookup structure select() can execute over.
+MappingLike = Union[DeepMapping, "ShardedDeepMapping"]
 
 
 class QueryError(ValueError):
@@ -28,11 +40,11 @@ class QueryError(ValueError):
 
 
 def select(
-    mapping: DeepMapping,
+    mapping: MappingLike,
     columns: Sequence[str],
     where: Dict[str, object],
 ) -> List[Optional[Dict[str, object]]]:
-    """Programmatic point SELECT.
+    """Programmatic point SELECT over a monolithic or sharded mapping.
 
     Parameters
     ----------
@@ -80,7 +92,7 @@ _PRED_RE = re.compile(r"^\s*(?P<col>\w+)\s*=\s*(?P<val>'[^']*'|\S+)\s*$")
 
 
 def run_select(
-    mapping: DeepMapping, statement: str
+    mapping: MappingLike, statement: str
 ) -> List[Optional[Dict[str, object]]]:
     """Parse and execute a point-SELECT statement.
 

@@ -1,0 +1,121 @@
+"""On-disk manifest for a saved sharded DeepMapping store.
+
+A saved store is a directory::
+
+    store/
+      manifest.json     <- this module's concern
+      config.pkl        <- pickled DeepMappingConfig (build knobs)
+      shard-0000.dm     <- one DeepMapping.save() payload per non-empty shard
+      shard-0002.dm        (empty shards have no file; the manifest records
+      ...                   them with ``file: null``)
+
+``manifest.json`` is deliberately human-readable JSON: it carries the
+router state (strategy + cut points / seed), the key and value schema with
+NumPy dtype strings, and a per-shard table of file name / row count / byte
+size.  Everything needed to route a query is in the manifest, so a loader
+can open shards lazily or on remote storage without unpickling them first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MANIFEST_NAME", "CONFIG_NAME", "ShardEntry", "ShardManifest",
+           "is_sharded_store"]
+
+MANIFEST_NAME = "manifest.json"
+CONFIG_NAME = "config.pkl"
+
+#: Bumped when the directory layout changes incompatibly.
+FORMAT = "sharded-deepmapping"
+VERSION = 1
+
+
+@dataclass
+class ShardEntry:
+    """Manifest record for one shard (``file`` is None for empty shards)."""
+
+    file: Optional[str]
+    n_rows: int = 0
+    n_bytes: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {"file": self.file, "n_rows": self.n_rows,
+                "n_bytes": self.n_bytes}
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "ShardEntry":
+        return cls(file=obj["file"], n_rows=int(obj["n_rows"]),
+                   n_bytes=int(obj["n_bytes"]))
+
+
+@dataclass
+class ShardManifest:
+    """Everything needed to reopen a sharded store."""
+
+    router: Dict[str, object]
+    key_names: List[str]
+    value_names: List[str]
+    #: Column name -> NumPy dtype string (``np.dtype(s)`` round-trips).
+    value_dtypes: Dict[str, str]
+    shards: List[ShardEntry] = field(default_factory=list)
+    #: Sharding knobs worth preserving across save/load (max_workers etc.).
+    sharding: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT,
+            "version": VERSION,
+            "router": self.router,
+            "key_names": list(self.key_names),
+            "value_names": list(self.value_names),
+            "value_dtypes": dict(self.value_dtypes),
+            "shards": [entry.to_json() for entry in self.shards],
+            "sharding": dict(self.sharding),
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "ShardManifest":
+        if obj.get("format") != FORMAT:
+            raise ValueError(f"not a {FORMAT} manifest: "
+                             f"format={obj.get('format')!r}")
+        if int(obj.get("version", -1)) > VERSION:
+            raise ValueError(f"manifest version {obj['version']} is newer "
+                             f"than supported version {VERSION}")
+        return cls(
+            router=obj["router"],
+            key_names=list(obj["key_names"]),
+            value_names=list(obj["value_names"]),
+            value_dtypes=dict(obj["value_dtypes"]),
+            shards=[ShardEntry.from_json(e) for e in obj["shards"]],
+            sharding=dict(obj.get("sharding", {})),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> int:
+        """Write ``manifest.json`` under ``directory``; returns bytes."""
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path, "w") as handle:
+            handle.write(payload + "\n")
+        return len(payload) + 1
+
+    @classmethod
+    def load(cls, directory: str) -> "ShardManifest":
+        """Read ``manifest.json`` from ``directory``."""
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))
+
+
+def is_sharded_store(path: str) -> bool:
+    """True when ``path`` is a directory holding a sharded-store manifest."""
+    return (os.path.isdir(path)
+            and os.path.isfile(os.path.join(path, MANIFEST_NAME)))

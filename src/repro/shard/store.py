@@ -1,0 +1,566 @@
+"""The sharded DeepMapping store.
+
+:class:`ShardedDeepMapping` partitions a table's key domain across N
+independent :class:`~repro.core.deep_mapping.DeepMapping` shards and gives
+them one facade with the same surface (``lookup`` / ``lookup_one`` /
+``insert`` / ``delete`` / ``update`` / ``save`` / ``load`` /
+``size_report``), so existing layers — :func:`repro.core.query.select`,
+the CLI, the bench harness — work over it transparently.
+
+Batched lookups are executed in three vectorized stages:
+
+1. **route** — the :mod:`~repro.shard.router` assigns every query key a
+   shard ordinal with NumPy array arithmetic (no per-key Python loops);
+2. **fan out** — one stable argsort groups keys by shard; each owning
+   shard runs its normal batched lookup, either inline or on a shared
+   :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy kernels release
+   the GIL, so shards overlap on multi-core hosts);
+3. **merge** — per-shard results are concatenated in group order and the
+   inverse permutation restores the caller's input order; keys owned by an
+   empty shard (or matching no row) are reported as per-key misses.
+
+Modifications route the same way: each row is applied to the owning
+shard's auxiliary table, and an insert that targets an empty shard
+materializes a fresh shard over those rows.
+
+Persistence reuses the storage substrate: every shard's auxiliary table
+runs through :class:`~repro.storage.partition.SortedPartitionStore` with a
+per-shard blob prefix into one *shared*
+:class:`~repro.storage.buffer_pool.BufferPool`, so a single byte budget
+caps resident partitions across the whole store.  ``save()`` writes one
+``DeepMapping.save`` payload per non-empty shard plus a JSON manifest
+(:mod:`~repro.shard.manifest`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import DeepMappingConfig
+from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
+                                 RowsLike, SizeReport, normalize_keys,
+                                 normalize_rows)
+from ..data.table import ColumnTable
+from ..storage.buffer_pool import BufferPool
+from ..storage.disk import DiskStore
+from ..storage.stats import StoreStats
+from .manifest import CONFIG_NAME, ShardEntry, ShardManifest
+from .router import ShardRouter, make_router, router_from_state
+
+__all__ = ["ShardedDeepMapping", "ShardingConfig"]
+
+
+@dataclass
+class ShardingConfig:
+    """Knobs of the sharded store (orthogonal to the per-shard build)."""
+
+    #: Number of shards the key domain is split into.
+    n_shards: int = 4
+    #: ``"range"`` (contiguous leading-key ranges, shrinks per-shard
+    #: domains) or ``"hash"`` (uniform placement over all key columns).
+    strategy: str = "range"
+    #: Thread-pool width for fan-out; ``None`` means
+    #: ``min(n_shards, cpu_count)``.  Effective width 1 runs inline.
+    max_workers: Optional[int] = None
+    #: Shared buffer-pool budget for all shards' aux partitions
+    #: (``None`` = unbounded).
+    pool_budget_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.strategy not in ("range", "hash"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+    def effective_workers(self) -> int:
+        """Resolved thread-pool width."""
+        if self.max_workers is not None:
+            return max(1, int(self.max_workers))
+        return max(1, min(self.n_shards, os.cpu_count() or 1))
+
+
+class ShardedDeepMapping:
+    """N independent DeepMapping shards behind one mapping facade.
+
+    Build with :meth:`fit`; the facade mirrors
+    :class:`~repro.core.deep_mapping.DeepMapping` closely enough that
+    query layers accept either.
+
+    Concurrency contract: :meth:`lookup` is safe to call from many
+    threads at once (that is the point of the fan-out).  Mutations
+    (:meth:`insert` / :meth:`delete` / :meth:`update`) are
+    single-writer and must not run concurrently with lookups — a
+    mutation can trigger a shard rebuild that swaps structures
+    non-atomically, exactly like the monolithic ``rebuild()``.  Racing
+    readers fail loudly (an exception), never silently return wrong
+    rows.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        shards: List[Optional[DeepMapping]],
+        config: DeepMappingConfig,
+        sharding: ShardingConfig,
+        value_names: Tuple[str, ...],
+        value_dtypes: Dict[str, np.dtype],
+        stats: Optional[StoreStats] = None,
+        pool: Optional[BufferPool] = None,
+    ):
+        if len(shards) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} shards, got {len(shards)}"
+            )
+        self.router = router
+        self.shards = list(shards)
+        self.config = config
+        self.sharding = sharding
+        self.stats = stats if stats is not None else StoreStats()
+        self.pool = pool
+        self._value_names = tuple(value_names)
+        self._value_dtypes = dict(value_dtypes)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        table: ColumnTable,
+        config: Optional[DeepMappingConfig] = None,
+        sharding: Optional[ShardingConfig] = None,
+        stats: Optional[StoreStats] = None,
+    ) -> "ShardedDeepMapping":
+        """Partition ``table`` and train one DeepMapping per shard.
+
+        Shards build concurrently on the fan-out thread pool when the
+        effective worker count exceeds one; each shard trains over only
+        its own rows (and, under range sharding, over a proportionally
+        smaller key domain).
+        """
+        config = config if config is not None else DeepMappingConfig()
+        sharding = sharding if sharding is not None else ShardingConfig()
+        stats = stats if stats is not None else StoreStats()
+
+        key_cols = table.key_columns_dict()
+        router = make_router(sharding.strategy, key_cols, table.key,
+                             sharding.n_shards)
+        with stats.timing("route"):
+            shard_ids = router.route(key_cols)
+
+        pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,
+                          stats=stats)
+        value_names = tuple(sorted(table.value_columns))
+        value_dtypes = {name: table.column(name).dtype
+                        for name in value_names}
+
+        def build_one(ordinal: int) -> Optional[DeepMapping]:
+            rows = np.flatnonzero(shard_ids == ordinal)
+            if rows.size == 0:
+                return None
+            # Shards share the store's stats sink so pool/io/inference
+            # buckets aggregate; increments race benignly under threads.
+            return DeepMapping.fit(
+                table.take(rows), config, pool=pool, stats=stats,
+                aux_name_prefix=_aux_prefix(ordinal),
+            )
+
+        workers = sharding.effective_workers()
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                shards = list(executor.map(build_one,
+                                           range(sharding.n_shards)))
+        else:
+            shards = [build_one(s) for s in range(sharding.n_shards)]
+
+        return cls(router, shards, config, sharding,
+                   value_names=value_names, value_dtypes=value_dtypes,
+                   stats=stats, pool=pool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (including empty ones)."""
+        return self.router.n_shards
+
+    @property
+    def key_names(self) -> Tuple[str, ...]:
+        """Key column names."""
+        return self.router.key_names
+
+    @property
+    def value_names(self) -> Tuple[str, ...]:
+        """Value column (task) names."""
+        return self._value_names
+
+    def __len__(self) -> int:
+        """Live keys across all shards."""
+        return sum(len(shard) for shard in self.shards if shard is not None)
+
+    def shard_row_counts(self) -> List[int]:
+        """Live keys per shard, in shard order."""
+        return [0 if shard is None else len(shard) for shard in self.shards]
+
+    def storage_bytes(self) -> int:
+        """Total offline footprint across shards."""
+        return self.size_report().total_bytes
+
+    def size_report(self) -> SizeReport:
+        """Aggregated per-component storage breakdown (Eq. 1 summed)."""
+        reports = [shard.size_report() for shard in self.shards
+                   if shard is not None]
+        return SizeReport(
+            model_bytes=sum(r.model_bytes for r in reports),
+            aux_bytes=sum(r.aux_bytes for r in reports),
+            exist_bytes=sum(r.exist_bytes for r in reports),
+            decode_bytes=sum(r.decode_bytes for r in reports),
+            dataset_bytes=sum(r.dataset_bytes for r in reports),
+            n_rows=len(self),
+            n_in_aux=sum(r.n_in_aux for r in reports),
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, keys: KeysLike) -> LookupResult:
+        """Batched exact-match lookup across shards, input order preserved."""
+        key_cols = self._normalize_keys(keys)
+        n = int(np.asarray(key_cols[self.key_names[0]]).size)
+        if n == 0:
+            return LookupResult(
+                found=np.zeros(0, dtype=bool),
+                values={c: self._placeholder(c, 0) for c in self.value_names},
+            )
+        if self.n_shards == 1 and self.shards[0] is not None:
+            # Single shard: no routing or merging to do.
+            return self.shards[0].lookup(key_cols)
+
+        with self.stats.timing("route"):
+            shard_ids = self.router.route(key_cols)
+            order = np.argsort(shard_ids, kind="stable")
+            grouped = {name: np.asarray(arr)[order]
+                       for name, arr in key_cols.items()}
+            bounds = np.searchsorted(shard_ids[order],
+                                     np.arange(self.n_shards + 1))
+
+        jobs: List[Tuple[int, int, int]] = []  # (ordinal, start, stop)
+        for ordinal in range(self.n_shards):
+            start, stop = int(bounds[ordinal]), int(bounds[ordinal + 1])
+            if stop > start:
+                jobs.append((ordinal, start, stop))
+
+        def run_job(job: Tuple[int, int, int]) -> LookupResult:
+            ordinal, start, stop = job
+            shard = self.shards[ordinal]
+            count = stop - start
+            if shard is None:
+                return LookupResult(
+                    found=np.zeros(count, dtype=bool),
+                    values={c: self._placeholder(c, count)
+                            for c in self.value_names},
+                )
+            segment = {name: arr[start:stop] for name, arr in grouped.items()}
+            return shard.lookup(segment)
+
+        results = self._map_jobs(run_job, jobs)
+
+        with self.stats.timing("merge"):
+            inverse = np.empty(n, dtype=np.int64)
+            inverse[order] = np.arange(n)
+            found = np.concatenate([r.found for r in results])[inverse]
+            values = {
+                column: np.concatenate([r.values[column] for r in results])[inverse]
+                for column in self.value_names
+            }
+        return LookupResult(found=found, values=values)
+
+    def lookup_one(self, **key_parts) -> Optional[Dict[str, object]]:
+        """Convenience single-key lookup; returns a row dict or None."""
+        key_cols = {name: np.array([value]) for name, value in key_parts.items()}
+        if set(key_cols) != set(self.key_names):
+            raise KeyError(f"expected key columns {self.key_names}")
+        return next(self.lookup(key_cols).rows())
+
+    def _map_jobs(self, fn, jobs: List) -> List:
+        """Run shard jobs inline or on the shared thread pool."""
+        if len(jobs) <= 1 or self.sharding.effective_workers() <= 1:
+            return [fn(job) for job in jobs]
+        return list(self._get_executor().map(fn, jobs))
+
+    def _get_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.sharding.effective_workers(),
+                    thread_name_prefix="shard-lookup",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedDeepMapping":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Modifications
+    # ------------------------------------------------------------------
+    def insert(self, rows: RowsLike) -> int:
+        """Route new rows to their owning shards (Algorithm 3 per shard).
+
+        An insert into an empty shard trains a fresh DeepMapping over just
+        those rows.  Returns the number of rows materialized in auxiliary
+        tables (fresh shards count their own aux rows).
+
+        The batch is validated against existing keys and intra-batch
+        duplicates before any shard is mutated: either problem raises
+        ``ValueError`` and no shard changes.
+        """
+        columns = self._normalize_rows(rows)
+        self._require_unique_batch_keys(columns)
+        groups = list(self._group_rows(columns))
+        already = 0
+        for ordinal, rows_idx in groups:
+            shard = self.shards[ordinal]
+            if shard is not None:
+                subset = {name: columns[name][rows_idx]
+                          for name in self.key_names}
+                already += int(shard.contains_batch(subset).sum())
+        if already:
+            raise ValueError(f"{already} key(s) already exist; use update()")
+
+        landed = 0
+        for ordinal, rows_idx in groups:
+            subset = {name: arr[rows_idx] for name, arr in columns.items()}
+            shard = self.shards[ordinal]
+            if shard is None:
+                fresh = DeepMapping.fit(
+                    ColumnTable(subset, key=self.key_names, name="shard"),
+                    self.config, pool=self.pool, stats=self.stats,
+                    aux_name_prefix=_aux_prefix(ordinal),
+                )
+                self.shards[ordinal] = fresh
+                landed += len(fresh.aux)
+            else:
+                landed += shard.insert(subset)
+        return landed
+
+    def delete(self, keys: KeysLike) -> int:
+        """Delete keys from their owning shards; absent keys are ignored."""
+        key_cols = self._normalize_keys(keys)
+        deleted = 0
+        for ordinal, rows_idx in self._group_rows(key_cols):
+            shard = self.shards[ordinal]
+            if shard is None:
+                continue
+            deleted += shard.delete({name: arr[rows_idx]
+                                     for name, arr in key_cols.items()})
+        return deleted
+
+    def update(self, rows: RowsLike) -> int:
+        """Replace values of existing keys in their owning shards.
+
+        The whole batch is validated first: if any key does not exist,
+        ``KeyError`` is raised and no shard is mutated (matching the
+        monolithic all-or-nothing contract).
+        """
+        columns = self._normalize_rows(rows)
+        groups = list(self._group_rows(columns))
+        missing = 0
+        for ordinal, rows_idx in groups:
+            shard = self.shards[ordinal]
+            if shard is None:
+                missing += int(rows_idx.size)
+                continue
+            subset = {name: columns[name][rows_idx] for name in self.key_names}
+            missing += int((~shard.contains_batch(subset)).sum())
+        if missing:
+            raise KeyError(f"{missing} key(s) do not exist; use insert()")
+
+        landed = 0
+        for ordinal, rows_idx in groups:
+            landed += self.shards[ordinal].update(
+                {name: arr[rows_idx] for name, arr in columns.items()})
+        return landed
+
+    def _require_unique_batch_keys(self, columns: Dict[str, np.ndarray]) -> None:
+        """Reject mutation batches that repeat a key.
+
+        A duplicate would fail *inside* one shard (a fresh fit or domain
+        rebuild requires unique keys) after other shards were already
+        mutated — so it is rejected up front to keep insert all-or-nothing.
+        """
+        stacked = np.stack([np.asarray(columns[name], dtype=np.int64)
+                            for name in self.key_names], axis=1)
+        n_unique = np.unique(stacked, axis=0).shape[0]
+        if n_unique != stacked.shape[0]:
+            raise ValueError(
+                f"{stacked.shape[0] - n_unique} duplicate key(s) in batch"
+            )
+
+    def _group_rows(self, columns: Dict[str, np.ndarray]):
+        """Yield ``(shard_ordinal, row_indices)`` for routed input rows."""
+        key_cols = {name: columns[name] for name in self.key_names}
+        with self.stats.timing("route"):
+            shard_ids = self.router.route(key_cols)
+        for ordinal in np.unique(shard_ids):
+            yield int(ordinal), np.flatnonzero(shard_ids == ordinal)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def to_table(self) -> ColumnTable:
+        """Logical content as one ColumnTable (shard order)."""
+        tables = [shard.to_table() for shard in self.shards
+                  if shard is not None and len(shard)]
+        if not tables:
+            columns: Dict[str, np.ndarray] = {
+                name: np.empty(0, dtype=np.int64) for name in self.key_names
+            }
+            for name in self.value_names:
+                columns[name] = self._placeholder(name, 0)
+            return ColumnTable(columns, key=self.key_names, name="sharded")
+        merged = tables[0]
+        for part in tables[1:]:
+            merged = merged.concat(part)
+        merged.name = "sharded"
+        return merged
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Write manifest + per-shard payloads under directory ``path``.
+
+        Returns total bytes written.  Empty shards are recorded in the
+        manifest with no payload file.
+        """
+        os.makedirs(path, exist_ok=True)
+        disk = DiskStore(directory=path, stats=self.stats)
+        total = 0
+        entries: List[ShardEntry] = []
+        for ordinal, shard in enumerate(self.shards):
+            if shard is None:
+                entries.append(ShardEntry(file=None))
+                continue
+            fname = f"shard-{ordinal:04d}.dm"
+            nbytes = shard.save(disk.path(fname))
+            entries.append(ShardEntry(file=fname, n_rows=len(shard),
+                                      n_bytes=nbytes))
+            total += nbytes
+
+        config_payload = pickle.dumps(self.config,
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+        total += disk.write(CONFIG_NAME, config_payload)
+
+        manifest = ShardManifest(
+            router=self.router.to_state(),
+            key_names=list(self.key_names),
+            value_names=list(self.value_names),
+            value_dtypes={name: dtype.str
+                          for name, dtype in self._value_dtypes.items()},
+            shards=entries,
+            sharding={
+                "strategy": self.sharding.strategy,
+                "n_shards": self.sharding.n_shards,
+                "max_workers": self.sharding.max_workers,
+                "pool_budget_bytes": self.sharding.pool_budget_bytes,
+            },
+        )
+        total += manifest.save(path)
+        return total
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        stats: Optional[StoreStats] = None,
+        max_workers: Optional[int] = None,
+        pool_budget_bytes: Optional[int] = None,
+    ) -> "ShardedDeepMapping":
+        """Inverse of :meth:`save`.
+
+        ``max_workers`` / ``pool_budget_bytes`` override the saved knobs
+        (e.g. load a store built on a big box onto a small one).  All
+        shards' auxiliary partitions share one
+        :class:`~repro.storage.buffer_pool.BufferPool` under the budget.
+        """
+        manifest = ShardManifest.load(path)
+        router = router_from_state(manifest.router)
+        with open(os.path.join(path, CONFIG_NAME), "rb") as handle:
+            config: DeepMappingConfig = pickle.loads(handle.read())
+
+        saved = manifest.sharding
+        sharding = ShardingConfig(
+            n_shards=manifest.n_shards,
+            strategy=saved.get("strategy", router.kind),
+            max_workers=(max_workers if max_workers is not None
+                         else saved.get("max_workers")),
+            pool_budget_bytes=(pool_budget_bytes if pool_budget_bytes is not None
+                               else saved.get("pool_budget_bytes")),
+        )
+        stats = stats if stats is not None else StoreStats()
+        pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,
+                          stats=stats)
+        shards: List[Optional[DeepMapping]] = []
+        for ordinal, entry in enumerate(manifest.shards):
+            if entry.file is None:
+                shards.append(None)
+                continue
+            shards.append(DeepMapping.load(
+                os.path.join(path, entry.file), pool=pool, stats=stats,
+                aux_name_prefix=_aux_prefix(ordinal),
+            ))
+        value_dtypes = {name: np.dtype(spec)
+                        for name, spec in manifest.value_dtypes.items()}
+        return cls(router, shards, config, sharding,
+                   value_names=tuple(manifest.value_names),
+                   value_dtypes=value_dtypes, stats=stats, pool=pool)
+
+    # ------------------------------------------------------------------
+    # Input normalization (shared with DeepMapping: identical shapes)
+    # ------------------------------------------------------------------
+    def _normalize_keys(self, keys: KeysLike) -> Dict[str, np.ndarray]:
+        return normalize_keys(keys, self.key_names)
+
+    def _normalize_rows(self, rows: RowsLike) -> Dict[str, np.ndarray]:
+        return normalize_rows(rows, self.key_names, self.value_names)
+
+    def _placeholder(self, column: str, size: int) -> np.ndarray:
+        """All-miss value array of the recorded dtype."""
+        dtype = self._value_dtypes.get(column, np.dtype(object))
+        if dtype == object:
+            return np.full(size, None, dtype=object)
+        return np.zeros(size, dtype=dtype)
+
+    def __repr__(self) -> str:
+        live = sum(1 for shard in self.shards if shard is not None)
+        return (
+            f"ShardedDeepMapping(key={self.key_names}, "
+            f"values={list(self.value_names)}, shards={self.n_shards} "
+            f"({live} live), strategy={self.sharding.strategy!r}, "
+            f"rows={len(self)})"
+        )
+
+
+def _aux_prefix(ordinal: int) -> str:
+    """Unique aux-partition blob prefix per shard (shared pool safety)."""
+    return f"shard{ordinal:04d}-aux"

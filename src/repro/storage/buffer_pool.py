@@ -11,6 +11,7 @@ the cost the paper's Table I measures and DeepMapping avoids.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
@@ -29,6 +30,16 @@ class MemoryBudgetError(MemoryError):
 
 class BufferPool:
     """Byte-budgeted LRU cache of deserialized partitions.
+
+    The pool is thread-safe: the sharded store fans per-shard lookups out
+    on a thread pool while all shards share one pool, so bookkeeping is
+    guarded by a lock.  Loaders run *outside* the lock (they do disk I/O
+    and decompression); two threads missing on the same key may both
+    load — the first insert wins and the loser returns its private copy
+    uncached.  A load that straddles an ``invalidate()``/``clear()`` is
+    likewise returned but never cached (generation check), so a rebuild
+    that retires blob names cannot have stale content resurrected by an
+    in-flight loader.
 
     Parameters
     ----------
@@ -58,6 +69,11 @@ class BufferPool:
         self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
         self._used_bytes = 0
         self.peak_bytes = 0
+        self._lock = threading.Lock()
+        # Bumped by invalidate()/clear(); a load that straddles a bump is
+        # returned to its caller but never cached (it may be stale: rebuilds
+        # replace blob content under reused names).
+        self._generation = 0
 
     # ------------------------------------------------------------------
     @property
@@ -81,14 +97,16 @@ class BufferPool:
         uncached (or raise, under ``strict``), mirroring a scan that streams
         through memory without being retainable.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.bump("pool_hits")
-            return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.bump("pool_hits")
+                return entry[0]
+            self.stats.bump("pool_misses")
+            generation = self._generation
 
-        self.stats.bump("pool_misses")
-        obj, size = loader()
+        obj, size = loader()  # deliberately outside the lock (I/O-heavy)
         size = int(size)
         if self.budget_bytes is not None and size > self.budget_bytes:
             if self.strict:
@@ -97,36 +115,46 @@ class BufferPool:
                     f"of {self.budget_bytes} bytes"
                 )
             return obj
-        self._insert(key, obj, size)
+        with self._lock:
+            if key not in self._entries and generation == self._generation:
+                self._insert(key, obj, size)
         return obj
 
     def put(self, key: Hashable, obj: Any, size: int) -> None:
         """Insert (or replace) an entry directly."""
-        if key in self._entries:
-            self.invalidate(key)
-        if self.budget_bytes is not None and size > self.budget_bytes:
-            if self.strict:
-                raise MemoryBudgetError(
-                    f"object of {size} bytes exceeds pool budget "
-                    f"of {self.budget_bytes} bytes"
-                )
-            return
-        self._insert(key, obj, int(size))
+        with self._lock:
+            self._invalidate(key)
+            if self.budget_bytes is not None and size > self.budget_bytes:
+                if self.strict:
+                    raise MemoryBudgetError(
+                        f"object of {size} bytes exceeds pool budget "
+                        f"of {self.budget_bytes} bytes"
+                    )
+                return
+            self._insert(key, obj, int(size))
 
     def invalidate(self, key: Hashable) -> None:
         """Drop ``key`` from the cache if present."""
+        with self._lock:
+            self._invalidate(key)
+
+    def _invalidate(self, key: Hashable) -> None:
+        self._generation += 1
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._used_bytes -= entry[1]
 
     def clear(self) -> None:
         """Drop every cached entry."""
-        self._entries.clear()
-        self._used_bytes = 0
+        with self._lock:
+            self._generation += 1
+            self._entries.clear()
+            self._used_bytes = 0
 
     def cached_keys(self):
         """Keys currently cached, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # ------------------------------------------------------------------
     def _insert(self, key: Hashable, obj: Any, size: int) -> None:

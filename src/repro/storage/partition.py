@@ -114,12 +114,14 @@ class SortedPartitionStore:
         keys = keys[order]
         columns = {name: np.asarray(col)[order] for name, col in columns.items()}
 
+        # _drop_existing_blobs invalidates this store's own pool entries;
+        # a whole-pool clear() would also evict co-hosted stores (the
+        # sharded store shares one pool across shards).
         self._drop_existing_blobs()
         self._metas = []
         self._columns = tuple(columns)
         self._dtypes = {name: np.asarray(col).dtype for name, col in columns.items()}
         self._n_rows = int(keys.size)
-        self.pool.clear()
 
         if keys.size == 0:
             self._refresh_boundaries()
@@ -168,6 +170,18 @@ class SortedPartitionStore:
         for meta in self._metas:
             self.disk.delete(meta.name)
             self.pool.invalidate(meta.name)
+
+    def drop_storage(self) -> None:
+        """Delete every partition blob and purge them from the pool.
+
+        For callers retiring this store while a successor reuses the same
+        pool and name prefix (rebuilds): stale cached blocks must not be
+        served under the successor's partition names.
+        """
+        self._drop_existing_blobs()
+        self._metas = []
+        self._n_rows = 0
+        self._refresh_boundaries()
 
     # ------------------------------------------------------------------
     # Introspection

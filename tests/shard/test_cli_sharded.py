@@ -1,0 +1,59 @@
+"""CLI tests for the --shards flag and sharded-store auto-detection."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def build_sharded(tmp_path, shards=2, extra=()):
+    out = str(tmp_path / "store.dms")
+    argv = ["build", "--dataset", "synthetic:multi-high", "--scale", "0.05",
+            "--out", out, "--epochs", "10", "--batch-size", "256",
+            "--shards", str(shards)]
+    argv.extend(extra)
+    return argv, out
+
+
+class TestShardedBuild:
+    def test_build_creates_directory_store(self, tmp_path, capsys):
+        argv, out = build_sharded(tmp_path)
+        assert main(argv) == 0
+        assert os.path.isdir(out)
+        assert os.path.isfile(os.path.join(out, "manifest.json"))
+        stdout = capsys.readouterr().out
+        assert "sharded range x2" in stdout
+
+    def test_build_hash_strategy(self, tmp_path, capsys):
+        argv, out = build_sharded(
+            tmp_path, extra=["--shard-strategy", "hash"])
+        assert main(argv) == 0
+        assert "sharded hash x2" in capsys.readouterr().out
+
+
+class TestShardedInfoQuery:
+    def test_info_reports_shards(self, tmp_path, capsys):
+        argv, out = build_sharded(tmp_path)
+        main(argv)
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "shards:" in stdout and "model:" in stdout
+
+    def test_query_hits_and_misses(self, tmp_path, capsys):
+        argv, out = build_sharded(tmp_path)
+        main(argv)
+        capsys.readouterr()
+        assert main(["query", out, "--key", "key=0",
+                     "--key", "key=999999"]) == 0
+        stdout = capsys.readouterr().out
+        assert "(key=0) ->" in stdout
+        assert "NULL" in stdout
+
+
+class TestBenchRejectsShards:
+    def test_bench_refuses_shard_flag(self):
+        with pytest.raises(SystemExit, match="bench_sharding"):
+            main(["bench", "--dataset", "synthetic:single-low",
+                  "--scale", "0.03", "--shards", "2"])

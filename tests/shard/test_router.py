@@ -1,0 +1,96 @@
+"""Tests for the vectorized key→shard routers."""
+
+import numpy as np
+import pytest
+
+from repro.shard import (HashShardRouter, RangeShardRouter, make_router,
+                         router_from_state)
+
+
+class TestRangeRouter:
+    def test_balanced_over_uniform_keys(self):
+        keys = {"key": np.arange(10_000, dtype=np.int64)}
+        router = RangeShardRouter.from_keys(keys, ("key",), 4)
+        ids = router.route(keys)
+        counts = np.bincount(ids, minlength=4)
+        assert counts.min() >= 2400 and counts.max() <= 2600
+
+    def test_contiguous_ranges(self):
+        keys = {"key": np.arange(1000, dtype=np.int64)}
+        router = RangeShardRouter.from_keys(keys, ("key",), 3)
+        ids = router.route(keys)
+        # Shard ordinal is monotone in the key: ranges are contiguous.
+        assert np.all(np.diff(ids) >= 0)
+
+    def test_out_of_range_keys_clamp_to_edge_shards(self):
+        router = RangeShardRouter(("key",), 3, cuts=[100, 200])
+        ids = router.route({"key": np.array([-50, 0, 150, 250, 10**9])})
+        np.testing.assert_array_equal(ids, [0, 0, 1, 2, 2])
+
+    def test_single_shard_has_no_cuts(self):
+        keys = {"key": np.arange(100, dtype=np.int64)}
+        router = RangeShardRouter.from_keys(keys, ("key",), 1)
+        assert router.cuts.size == 0
+        assert np.all(router.route(keys) == 0)
+
+    def test_state_round_trip(self):
+        router = RangeShardRouter(("a", "b"), 4, cuts=[10, 20, 30])
+        restored = router_from_state(router.to_state())
+        assert isinstance(restored, RangeShardRouter)
+        assert restored.key_names == ("a", "b")
+        np.testing.assert_array_equal(restored.cuts, router.cuts)
+        probe = {"a": np.arange(50, dtype=np.int64),
+                 "b": np.zeros(50, dtype=np.int64)}
+        np.testing.assert_array_equal(restored.route(probe),
+                                      router.route(probe))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeShardRouter(("k",), 3, cuts=[5])  # wrong count
+        with pytest.raises(ValueError):
+            RangeShardRouter(("k",), 3, cuts=[9, 5])  # not ascending
+
+
+class TestHashRouter:
+    def test_deterministic_and_in_range(self):
+        router = HashShardRouter(("key",), 5)
+        keys = {"key": np.arange(-500, 500, dtype=np.int64)}
+        ids = router.route(keys)
+        assert ids.min() >= 0 and ids.max() < 5
+        np.testing.assert_array_equal(ids, router.route(keys))
+
+    def test_roughly_uniform(self):
+        router = HashShardRouter(("key",), 4)
+        ids = router.route({"key": np.arange(20_000, dtype=np.int64)})
+        counts = np.bincount(ids, minlength=4)
+        assert counts.min() > 4000  # perfect balance would be 5000
+
+    def test_composite_columns_both_matter(self):
+        router = HashShardRouter(("a", "b"), 16)
+        base = {"a": np.arange(64, dtype=np.int64),
+                "b": np.zeros(64, dtype=np.int64)}
+        swapped = {"a": np.zeros(64, dtype=np.int64),
+                   "b": np.arange(64, dtype=np.int64)}
+        assert not np.array_equal(router.route(base), router.route(swapped))
+
+    def test_state_round_trip(self):
+        router = HashShardRouter(("key",), 7, seed=13)
+        restored = router_from_state(router.to_state())
+        probe = {"key": np.arange(100, dtype=np.int64)}
+        np.testing.assert_array_equal(restored.route(probe),
+                                      router.route(probe))
+
+
+class TestFactories:
+    def test_make_router_strategies(self):
+        keys = {"key": np.arange(100, dtype=np.int64)}
+        assert isinstance(make_router("range", keys, ("key",), 2),
+                          RangeShardRouter)
+        assert isinstance(make_router("hash", keys, ("key",), 2),
+                          HashShardRouter)
+        with pytest.raises(ValueError):
+            make_router("modulo", keys, ("key",), 2)
+
+    def test_router_from_state_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            router_from_state({"kind": "alien"})

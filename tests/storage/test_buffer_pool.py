@@ -126,3 +126,81 @@ def test_shared_stats_sink():
     pool = BufferPool(budget_bytes=10, stats=stats)
     pool.get("a", make_loader("A", 1, []))
     assert stats.counters["pool_misses"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_get_with_eviction_races(self):
+        """Shared pool under a tight budget: hammered from several threads
+        (the sharded store's fan-out), no KeyError / accounting drift."""
+        import threading
+
+        pool = BufferPool(budget_bytes=120)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(400):
+                    key = f"k{(seed + i) % 6}"
+                    value = pool.get(key, make_loader(key.upper(), 30, []))
+                    assert value == key.upper()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert 0 <= pool.used_bytes <= 120
+
+    def test_concurrent_put_invalidate(self):
+        import threading
+
+        pool = BufferPool(budget_bytes=1000)
+
+        def churn(seed):
+            for i in range(300):
+                key = f"k{(seed + i) % 4}"
+                pool.put(key, seed, 10)
+                pool.invalidate(key)
+
+        threads = [threading.Thread(target=churn, args=(s,))
+                   for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert pool.used_bytes >= 0
+
+    def test_inflight_load_straddling_invalidate_is_not_cached(self):
+        """A loader that started before invalidate() must not resurrect
+        the retired content into the cache (rebuilds reuse blob names)."""
+        import threading
+
+        pool = BufferPool(budget_bytes=1000)
+        loader_entered = threading.Event()
+        release_loader = threading.Event()
+
+        def slow_loader():
+            loader_entered.set()
+            release_loader.wait(timeout=5)
+            return "STALE", 10
+
+        result = {}
+
+        def reader():
+            result["value"] = pool.get("part", slow_loader)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert loader_entered.wait(timeout=5)
+        pool.invalidate("part")  # the rebuild retiring the blob name
+        release_loader.set()
+        thread.join(timeout=5)
+
+        assert result["value"] == "STALE"  # caller still gets its read...
+        assert "part" not in pool          # ...but nothing was cached
+        calls = []
+        assert pool.get("part", make_loader("FRESH", 10, calls)) == "FRESH"

@@ -194,3 +194,25 @@ def test_partition_store_matches_dict_model(keys, probe):
             assert values["v"][i] == model[key]
         else:
             assert not found[i]
+
+
+def test_rebuild_preserves_cohosted_pool_entries():
+    """build() must only invalidate its own partitions: the sharded store
+    co-hosts many stores' partitions in one shared pool."""
+    import numpy as np
+
+    from repro.storage import BufferPool, SortedPartitionStore
+
+    pool = BufferPool()
+    pool.put("foreign-partition", {"keys": np.arange(3)}, 24)
+
+    store = SortedPartitionStore(pool=pool, name_prefix="mine")
+    keys = np.arange(50, dtype=np.int64)
+    store.build(keys, {"v": keys % 7})
+    store.lookup_batch(keys[:5])  # fault own partitions into the pool
+    assert "foreign-partition" in pool
+
+    store.build(keys, {"v": keys % 3})  # rebuild (e.g. a compaction)
+    assert "foreign-partition" in pool
+    found, values = store.lookup_batch(np.array([9]))
+    assert found[0] and values["v"][0] == 0
