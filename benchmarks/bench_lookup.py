@@ -1,0 +1,223 @@
+"""Lookup-path micro-benchmark: compiled fused kernel vs reference path.
+
+Times batched exact-match lookups at mixed hit/miss ratios against a
+monolithic :class:`~repro.core.deep_mapping.DeepMapping` and a 4-shard
+:class:`~repro.shard.ShardedDeepMapping`, once through the reference
+``InferenceSession`` path (``compiled_lookup=False`` — the pre-compiled-
+engine read path: per-batch weight casts, dense one-hot GEMM, inference
+over every query key) and once through the compiled
+:class:`~repro.nn.compiled.CompiledSession` kernel (cached float32
+weights, grouped-gather first layer, existence-gated batches).
+
+Writes ``BENCH_lookup.json`` at the repo root so the lookup-throughput
+trajectory is machine-readable from PR to PR; ``docs/performance.md``
+explains how to read and refresh it.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_lookup.py           # full
+    PYTHONPATH=src python benchmarks/bench_lookup.py --smoke   # CI seconds
+
+The full run enforces the acceptance bar: >= 2.5x compiled-vs-reference
+throughput on a 100k-key, 50%-hit batch against the monolithic store on
+a single core.  Smoke mode shrinks everything and writes its JSON under
+``benchmarks/results/`` instead of the repo root.
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import DeepMapping, DeepMappingConfig
+from repro.data import synthetic
+from repro.shard import ShardedDeepMapping, ShardingConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+HIT_RATIOS = (1.0, 0.5, 0.0)
+ACCEPTANCE_SPEEDUP = 2.5  # monolithic, 50%-hit batch
+
+
+def bench_config(smoke: bool) -> DeepMappingConfig:
+    return DeepMappingConfig(
+        epochs=2 if smoke else 8,
+        batch_size=4096,
+        shared_sizes=(64,),
+        private_sizes=(32,),
+        aux_partition_bytes=32 * 1024,
+    )
+
+
+def build_queries(table, batch: int, rng):
+    """One query batch per hit ratio: hits sampled from live keys, misses
+    from the in-domain gaps left by ``domain_factor`` (so the existence
+    index, not domain validation, rejects them — the realistic negative
+    lookup at scale)."""
+    key_name = table.key[0]
+    keys = table.column(key_name)
+    domain = np.arange(keys.min(), keys.max() + 1, dtype=np.int64)
+    absent = np.setdiff1d(domain, keys)
+    queries = {}
+    for ratio in HIT_RATIOS:
+        n_hits = int(round(batch * ratio))
+        parts = []
+        if n_hits:
+            parts.append(rng.choice(keys, size=n_hits, replace=True))
+        if batch - n_hits:
+            parts.append(rng.choice(absent, size=batch - n_hits,
+                                    replace=True))
+        query = np.concatenate(parts)
+        rng.shuffle(query)
+        queries[ratio] = {key_name: query}
+    return queries
+
+
+def run_lookup_benchmark(rows: int = 120_000, batch: int = 100_000,
+                         runs: int = 5, smoke: bool = False):
+    table = synthetic.single_column(rows, "high", seed=1, domain_factor=2.0)
+    rng = np.random.default_rng(0)
+    queries = build_queries(table, batch, rng)
+    config = bench_config(smoke)
+
+    stores = [
+        ("monolithic", 1, DeepMapping.fit(table, config)),
+        ("sharded4", 4, ShardedDeepMapping.fit(
+            table, config, ShardingConfig(n_shards=4, strategy="range"))),
+    ]
+
+    # (store, hit_ratio, path) -> best seconds.  Passes are interleaved so
+    # machine drift hits every cell alike; each cell keeps its best run.
+    best = {}
+    for path_label, compiled in (("reference", False), ("compiled", True)):
+        config.compiled_lookup = compiled  # shared by every store/shard
+        for label, _, store in stores:
+            for ratio in HIT_RATIOS:
+                store.lookup(queries[ratio])  # warm engines and caches
+        for _ in range(runs):
+            for label, _, store in stores:
+                for ratio in HIT_RATIOS:
+                    key = (label, ratio, path_label)
+                    start = time.perf_counter()
+                    result = store.lookup(queries[ratio])
+                    elapsed = time.perf_counter() - start
+                    best[key] = min(best.get(key, float("inf")), elapsed)
+                    expected = int(round(batch * ratio))
+                    assert int(result.found.sum()) == expected, (
+                        f"{key}: found {int(result.found.sum())} of an "
+                        f"expected {expected} hits"
+                    )
+    config.compiled_lookup = True
+
+    results = []
+    for label, n_shards, store in stores:
+        for ratio in HIT_RATIOS:
+            for path_label in ("reference", "compiled"):
+                seconds = best[(label, ratio, path_label)]
+                results.append({
+                    "store": label,
+                    "n_shards": n_shards,
+                    "hit_ratio": ratio,
+                    "path": path_label,
+                    "seconds": seconds,
+                    "keys_per_second": batch / seconds,
+                })
+    speedups = {
+        label: {
+            str(ratio): (best[(label, ratio, "reference")]
+                         / best[(label, ratio, "compiled")])
+            for ratio in HIT_RATIOS
+        }
+        for label, _, _ in stores
+    }
+
+    report = {
+        "benchmark": "lookup",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "smoke" if smoke else "full",
+        "rows": rows,
+        "batch": batch,
+        "runs": runs,
+        "hit_ratios": list(HIT_RATIOS),
+        "config": {
+            "epochs": config.epochs,
+            "shared_sizes": list(config.shared_sizes),
+            "private_sizes": list(config.private_sizes),
+            "weight_dtype": config.weight_dtype,
+            "inference_batch": config.inference_batch,
+        },
+        "results": results,
+        "speedup_compiled_vs_reference": speedups,
+        "acceptance": {
+            "metric": "monolithic speedup at hit_ratio=0.5",
+            "target": ACCEPTANCE_SPEEDUP,
+            "measured": speedups["monolithic"]["0.5"],
+            "passed": speedups["monolithic"]["0.5"] >= ACCEPTANCE_SPEEDUP,
+        },
+    }
+
+    table_rows = [
+        [r["store"], r["hit_ratio"], r["path"], r["seconds"] * 1e3,
+         r["keys_per_second"] / 1e3]
+        for r in results
+    ]
+    print(format_table(
+        ["store", "hit ratio", "path", "best ms", "kkeys/s"],
+        table_rows,
+        title=(f"Batched-lookup latency, compiled vs reference "
+               f"(rows={rows}, batch={batch}, best of {runs})"),
+    ))
+    for label, _, store in stores:
+        if hasattr(store, "close"):
+            store.close()
+    return report
+
+
+def write_json(report, out_path: str) -> None:
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[benchmark JSON saved to {out_path}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config for CI (seconds, not minutes); "
+                             "writes under benchmarks/results/ instead of "
+                             "the repo root")
+    parser.add_argument("--out", default=None,
+                        help="override the output JSON path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_lookup_benchmark(rows=4000, batch=3000, runs=2,
+                                      smoke=True)
+        out = args.out or os.path.join(RESULTS_DIR,
+                                       "BENCH_lookup_smoke.json")
+    else:
+        report = run_lookup_benchmark()
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_lookup.json")
+    write_json(report, out)
+    measured = report["acceptance"]["measured"]
+    print(f"compiled vs reference, monolithic 50%-hit batch: "
+          f"{measured:.2f}x (target {ACCEPTANCE_SPEEDUP}x)")
+    if not args.smoke and not report["acceptance"]["passed"]:
+        print("ACCEPTANCE FAILED")
+        return 1
+    return 0
+
+
+def test_lookup_speedup():
+    """Benchmark-suite gate (not tier-1): compiled beats reference by the
+    acceptance factor on the monolithic 100k-key 50%-hit batch."""
+    report = run_lookup_benchmark()
+    write_json(report, os.path.join(REPO_ROOT, "BENCH_lookup.json"))
+    assert report["acceptance"]["passed"], report["acceptance"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

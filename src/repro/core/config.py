@@ -78,6 +78,17 @@ class DeepMappingConfig:
     seed: int = 0
     #: Batch size for model inference at query time.
     inference_batch: int = 65536
+    #: Serve lookups through the fused
+    #: :class:`~repro.nn.compiled.CompiledSession` kernel (float32 weights
+    #: cached once, gather-based first layer, existence-gated batches).
+    #: Off falls back to the reference ``InferenceSession`` path — same
+    #: answers, slower; kept for parity testing and benchmarking.  When
+    #: this is on, build and modification residual masks cover *both*
+    #: predictors' errors, so turning it off at query time is always
+    #: lossless; turning it *on* for a structure built entirely with it
+    #: off is not guaranteed lossless (its ``T_aux`` only covers the
+    #: reference predictor's errors).
+    compiled_lookup: bool = True
 
     def __post_init__(self):
         bases = ((self.key_base,) if isinstance(self.key_base, int)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..data.encoding import CompositeKeyCodec, DecodeMap, KeyEncoder
 from ..data.table import ColumnTable
+from ..nn.compiled import CompiledSession
 from ..nn.inference import InferenceSession
 from ..nn.multitask import ArchitectureSpec, MultiTaskMLP
 from ..nn.optimizers import Adam, ExponentialDecay
@@ -186,6 +187,8 @@ class DeepMapping:
         self.stats = stats if stats is not None else StoreStats()
         self.tracker = ModificationTracker(config.retrain_threshold_bytes)
         self._dataset_bytes = int(dataset_bytes)
+        #: Lazily compiled fused lookup kernel (see :meth:`compiled_session`).
+        self._compiled: Optional[CompiledSession] = None
         #: :class:`~repro.core.mhas.SearchOutcome` when MHAS built this
         #: structure (None for fixed architectures).
         self.search_history = None
@@ -293,7 +296,23 @@ class DeepMapping:
             auto_compact_rows=config.aux_auto_compact_rows,
             name_prefix=aux_name_prefix,
         )
-        mis = cls._misclassified_mask(session, x, labels, config.inference_batch)
+        # T_aux must hold every row the *query-time* predictor gets wrong.
+        # The compiled kernel's fused float32 partial sums can differ from
+        # the reference GEMM by an ulp — enough to flip a near-tie argmax —
+        # so when compiled lookups are enabled the mask is the UNION of
+        # both predictors' errors: any key the two paths disagree on is
+        # wrong for at least one of them, lands in T_aux, and is served
+        # from there by either path.  That keeps lookups lossless even if
+        # ``compiled_lookup`` is later toggled at query time.  The freshly
+        # compiled engine is kept for the mapping.
+        mis = cls._misclassified_mask(session, x, labels,
+                                      config.inference_batch)
+        engine = None
+        if getattr(config, "compiled_lookup", True):
+            engine = CompiledSession(session, key_encoder)
+            predicted = engine.run(flat, batch_size=config.inference_batch)
+            for task in fdecode.columns:
+                mis |= predicted[task] != np.asarray(labels[task])
         aux.build(flat[mis], {t: labels[t][mis] for t in fdecode.columns})
 
         exist = make_existence_index(key_codec.domain_size, flat.size)
@@ -313,6 +332,7 @@ class DeepMapping:
         mapping.search_history = search_history
         mapping.last_training = training
         mapping.warm_started_tensors = warm_tensors
+        mapping._compiled = engine
         return mapping
 
     @staticmethod
@@ -327,6 +347,27 @@ class DeepMapping:
         mis = np.zeros(x.shape[0], dtype=bool)
         for task, lab in labels.items():
             mis |= predicted[task] != np.asarray(lab)
+        return mis
+
+    def _mis_mask(self, flat: np.ndarray,
+                  labels: Dict[str, np.ndarray]) -> np.ndarray:
+        """Rows where the serving predictor(s) disagree with the labels.
+
+        With compiled lookups enabled this is the union of the reference
+        and compiled predictions' errors, mirroring :meth:`fit`'s aux
+        mask: a modified row stays out of ``T_aux`` only when *both*
+        predictors get it right, so lookups stay lossless under either
+        path (the knob may be toggled at query time).  The model itself
+        is unchanged by modifications, so the cached engine stays valid.
+        """
+        x = self.key_encoder.encode(flat)
+        mis = self._misclassified_mask(self.session, x, labels,
+                                       self.config.inference_batch)
+        if self._use_compiled():
+            predicted = self.compiled_session().run(
+                flat, batch_size=self.config.inference_batch)
+            for task, lab in labels.items():
+                mis |= predicted[task] != np.asarray(lab)
         return mis
 
     # ------------------------------------------------------------------
@@ -365,12 +406,58 @@ class DeepMapping:
     # ------------------------------------------------------------------
     # Lookup (paper Algorithm 1)
     # ------------------------------------------------------------------
+    def compiled_session(self) -> CompiledSession:
+        """The fused lookup kernel for the current frozen model.
+
+        Compiled lazily on first use and cached; the cache is keyed to the
+        live ``session``/``key_encoder`` objects, so any path that swaps
+        them (``rebuild``, domain-widening inserts) recompiles on the next
+        call even without an explicit invalidation.  Concurrent readers
+        may race to build the first engine — construction is cheap and
+        idempotent, and the attribute swap is atomic.
+        """
+        engine = self._compiled
+        if (engine is None or engine.session is not self.session
+                or engine.key_encoder is not self.key_encoder):
+            engine = CompiledSession(self.session, self.key_encoder)
+            self._compiled = engine
+        return engine
+
+    def _use_compiled(self) -> bool:
+        # getattr: configs pickled before this knob existed lack the field.
+        return bool(getattr(self.config, "compiled_lookup", True))
+
+    def _predict_codes(self, flat: np.ndarray,
+                       found: np.ndarray) -> Dict[str, np.ndarray]:
+        """Label codes per task for a batch of flat query keys.
+
+        The compiled path runs the fused kernel only on rows that passed
+        the existence mask and scatters predictions back — codes for
+        missing rows stay 0, which ``found`` masks out downstream.  The
+        reference path runs the frozen session over every key, exactly as
+        the paper's Algorithm 1 is written.
+        """
+        if not self._use_compiled():
+            x = self.key_encoder.encode(flat)
+            return self.session.run(x, batch_size=self.config.inference_batch)
+        codes = {t: np.zeros(flat.size, dtype=np.int64)
+                 for t in self.value_names}
+        hit_rows = np.flatnonzero(found)
+        if hit_rows.size:
+            engine = self.compiled_session()
+            hit = engine.run(flat[hit_rows],
+                             batch_size=self.config.inference_batch)
+            for task in self.value_names:
+                codes[task][hit_rows] = hit[task]
+        return codes
+
     def lookup(self, keys: KeysLike) -> LookupResult:
         """Batch exact-match lookup.
 
-        Runs batch inference over all query keys, masks non-existing keys
-        through ``V_exist``, overrides misclassified keys from ``T_aux``,
-        and decodes label codes to original values.
+        Masks non-existing keys through ``V_exist``, runs batch inference
+        (through the compiled kernel, gated to existing keys, unless
+        ``config.compiled_lookup`` is off), overrides misclassified keys
+        from ``T_aux``, and decodes label codes to original values.
         """
         key_cols = self._normalize_keys(keys)
         flat, in_domain = self.key_codec.try_flatten(key_cols)
@@ -379,8 +466,7 @@ class DeepMapping:
             found = self.exist.test_batch(flat) & in_domain
 
         with self.stats.timing("inference"):
-            x = self.key_encoder.encode(flat)
-            codes = self.session.run(x, batch_size=self.config.inference_batch)
+            codes = self._predict_codes(flat, found)
 
         if found.any():
             aux_found, aux_codes = self.aux.lookup_batch(flat[found])
@@ -444,9 +530,7 @@ class DeepMapping:
         labels = self.fdecode.encode(value_cols)
 
         self.exist.set_batch(flat)
-        x = self.key_encoder.encode(flat)
-        mis = self._misclassified_mask(self.session, x, labels,
-                                       self.config.inference_batch)
+        mis = self._mis_mask(flat, labels)
         if mis.any():
             self.aux.add_batch(flat[mis], {t: labels[t][mis]
                                            for t in self.value_names})
@@ -490,9 +574,7 @@ class DeepMapping:
         self.fdecode.extend(value_cols)
         labels = self.fdecode.encode(value_cols)
 
-        x = self.key_encoder.encode(flat)
-        mis = self._misclassified_mask(self.session, x, labels,
-                                       self.config.inference_batch)
+        mis = self._mis_mask(flat, labels)
         if (~mis).any():
             self.aux.remove_batch(flat[~mis])
         if mis.any():
@@ -535,6 +617,11 @@ class DeepMapping:
         self._dataset_bytes = fresh._dataset_bytes
         self.last_training = fresh.last_training
         self.warm_started_tensors = fresh.warm_started_tensors
+        # The compiled kernel is frozen over the retired session/encoder;
+        # adopt the rebuilt structure's engine (None when compiled lookups
+        # are off — the staleness check in compiled_session() would also
+        # catch a stale engine).
+        self._compiled = fresh._compiled
         self.tracker.mark_rebuilt()
 
     def _maybe_retrain(self) -> None:

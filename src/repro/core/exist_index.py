@@ -160,15 +160,23 @@ class SparseExistenceIndex:
         return int(self._keys.nbytes)
 
     def stored_bytes(self) -> int:
-        """Offline size: delta-encoded, compressed keys."""
-        return len(self.to_bytes()) - 1
+        """Offline size: delta-encoded, compressed keys.
+
+        Counts only the compressed key payload — not the 1-byte format
+        tag or the 8-byte domain header — so ``size(V_exist)`` in Eq. 1
+        is accounted exactly like the dense variant's (which likewise
+        excludes its serialization tag).
+        """
+        return len(self._compressed_keys())
+
+    def _compressed_keys(self) -> bytes:
+        deltas = np.diff(self._keys, prepend=np.int64(0))
+        return zlib.compress(deltas.tobytes(), 1)
 
     def to_bytes(self) -> bytes:
         """Serialize (delta-encoded + compressed, tagged sparse)."""
-        deltas = np.diff(self._keys, prepend=np.int64(0))
-        payload = (self._domain.to_bytes(8, "little")
-                   + zlib.compress(deltas.tobytes(), 1))
-        return b"S" + payload
+        return (b"S" + self._domain.to_bytes(8, "little")
+                + self._compressed_keys())
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "SparseExistenceIndex":

@@ -14,7 +14,11 @@ Both entry points accept any mapping exposing ``key_names`` /
 ``value_names`` / ``lookup`` — a single
 :class:`~repro.core.deep_mapping.DeepMapping` or a
 :class:`~repro.shard.ShardedDeepMapping` — so queries run unchanged over
-monolithic and sharded stores.
+monolithic and sharded stores.  Execution flows through the mapping's
+batched ``lookup``, i.e. through the fused
+:class:`~repro.nn.compiled.CompiledSession` kernel (existence-gated,
+gather-based inference; see ``docs/performance.md``) unless the build
+config disables it.
 """
 
 from __future__ import annotations

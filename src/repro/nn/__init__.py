@@ -7,6 +7,7 @@ cell for the MHAS controller, Adam/SGD optimizers, and a frozen
 """
 
 from .activations import log_softmax, relu, sigmoid, softmax, tanh
+from .compiled import CompiledSession
 from .inference import InferenceSession
 from .initializers import glorot_uniform, orthogonal, uniform, zeros
 from .layers import Dense, Embedding, Parameter
@@ -38,6 +39,7 @@ __all__ = [
     "ArchitectureSpec",
     "MultiTaskMLP",
     "InferenceSession",
+    "CompiledSession",
     "Optimizer",
     "SGD",
     "Adam",

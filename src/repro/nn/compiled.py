@@ -1,0 +1,311 @@
+"""Compiled query-time kernel for the frozen lookup model.
+
+:class:`~repro.nn.inference.InferenceSession` is the *reference* runtime:
+it stores quantized weights and replays the generic layer graph, casting
+weights up to float32 on every batch and consuming a dense one-hot input.
+That is faithful to the paper's ONNX deployment but leaves measurable
+work on the table for the lookup hot path.  :class:`CompiledSession`
+freezes the same model into the tightest kernel the input structure
+allows:
+
+1. **Dequantize once** — float32 copies of every weight/bias are cached
+   at construction, so no ``astype`` runs per batch per layer.
+2. **Gather-fused first layer** — the model's input is a concatenation of
+   one-hot digit blocks (:class:`~repro.data.encoding.KeyEncoder`), so
+   ``x @ W1 + b1`` is exactly a sum of one ``W1`` row per digit position.
+   At compile time consecutive digit positions are folded into *group
+   tables*: a group of ``g`` positions of base ``b`` becomes one
+   ``(b**g, hidden)`` table of precomputed partial sums (the
+   per-(digit-position, digit-value) rows of ``W1``, summed across the
+   group).  At query time each group's index is read straight off the
+   flat integer key with one divide and one modulo, and the first layer
+   reduces to a couple of table gathers — the ``(n, input_dim)`` one-hot
+   matrix is never materialized and the widest GEMM of the network
+   disappears.
+3. **Preallocated scratch** — activation buffers and the group-index
+   vector live in thread-local scratch, reused across batches (and across
+   the chunks of one large batch), so steady-state inference does no
+   large allocations; gathers use ``np.take(..., mode="clip", out=...)``,
+   whose unchecked path is several times faster than bounds-checked take
+   (indices are in-range by construction).
+
+The compiled kernel consumes *flat integer keys* (the output of
+:meth:`~repro.data.encoding.CompositeKeyCodec.flatten`), not encoded
+feature vectors.  Parity with the reference path holds at the level of
+predicted label codes (argmax), which is what the lookup algorithm
+consumes; pre-summing group tables can shift float32 logits by an ulp —
+enough to flip a near-tie argmax — so a structure built for compiled
+lookups derives its auxiliary table from the *union* of this kernel's
+and the reference session's prediction errors (see ``DeepMapping.fit``):
+any key the two predictors disagree on is served from ``T_aux`` by
+either path, preserving losslessness.  ``InferenceSession.run`` remains
+the parity oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.encoding import KeyEncoder
+from .inference import InferenceSession
+
+__all__ = ["CompiledSession"]
+
+#: Per-group table budget: tables are meant to sit in L2 while a batch
+#: streams through them, and build cost must stay negligible.
+_TABLE_BYTES_CAP = 1 << 20
+
+#: One gathered digit group: (partial-sum table, key divisor, radix).
+_Group = Tuple[np.ndarray, int, int]
+
+
+class _FusedLayer:
+    """First layer compiled to grouped gathers over flat keys."""
+
+    def __init__(self, groups: List[_Group], relu: bool, slot: str):
+        self.groups = groups
+        self.relu = relu
+        self.slot = slot
+
+
+class _DenseLayer:
+    """A cached-float32 GEMM layer (every layer after the first)."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray, relu: bool,
+                 slot: str):
+        self.weight = weight
+        self.bias = bias
+        self.relu = relu
+        self.slot = slot
+
+
+class CompiledSession:
+    """Fused gather-based inference over flat integer keys.
+
+    Parameters
+    ----------
+    session:
+        The frozen reference model (any weight dtype).
+    key_encoder:
+        The fitted encoder whose one-hot layout the model was trained on;
+        its ``input_dim`` must match the model's.
+    """
+
+    def __init__(self, session: InferenceSession, key_encoder: KeyEncoder):
+        if key_encoder.widths is None:
+            raise ValueError("key encoder is not fitted")
+        if key_encoder.input_dim != session.spec.input_dim:
+            raise ValueError(
+                f"encoder input_dim {key_encoder.input_dim} does not match "
+                f"model input_dim {session.spec.input_dim}"
+            )
+        self.session = session
+        self.key_encoder = key_encoder
+        self.tasks = session.tasks
+
+        self._slot_widths: Dict[str, int] = {}
+        # The first layer consuming the one-hot input gets the gather
+        # fusion: the shared trunk's first layer when a trunk exists,
+        # otherwise every head chain's first layer.
+        shared = session._shared
+        heads = session._heads
+        # Slot names are namespaced ("trunk/" vs "head/") so a value
+        # column whose name collides with an internal scope (e.g. a task
+        # literally called "shared") can never alias a trunk buffer.
+        self._trunk: List[object] = []
+        for i, (w, b) in enumerate(shared):
+            self._trunk.append(self._compile_layer(
+                f"trunk/{i}", w, b, relu=True, fuse=i == 0))
+        self._heads: Dict[str, List[object]] = {}
+        for task in self.tasks:
+            chain = heads[task]
+            self._heads[task] = [
+                self._compile_layer(f"head/{task}/{i}", w, b,
+                                    relu=i < len(chain) - 1,
+                                    fuse=i == 0 and not shared)
+                for i, (w, b) in enumerate(chain)
+            ]
+
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile_layer(self, scope: str, w: np.ndarray, b: np.ndarray,
+                       relu: bool, fuse: bool):
+        weight = np.ascontiguousarray(w.astype(np.float32))
+        bias = np.ascontiguousarray(b.astype(np.float32).reshape(-1))
+        self._slot_widths[scope] = weight.shape[1]
+        if not fuse:
+            return _DenseLayer(weight, bias, relu, scope)
+        self._slot_widths[scope + "/tmp"] = weight.shape[1]
+        return _FusedLayer(self._build_groups(weight, bias), relu, scope)
+
+    def _build_groups(self, weight: np.ndarray,
+                      bias: np.ndarray) -> List[_Group]:
+        """Fold the first-layer weight rows into digit-group tables.
+
+        The one-hot layout concatenates, per base ``b`` of width ``w``,
+        ``w`` digit blocks of ``b`` columns; digit position ``p``
+        (most-significant first) of key ``k`` is
+        ``(k // b**(w-1-p)) % b``, and its one-hot block spans rows
+        ``[offset + p*b, offset + (p+1)*b)`` of the weight.  A group of
+        consecutive positions ``[lo, hi)`` therefore answers to the group
+        index ``(k // b**(w-hi)) % b**(hi-lo)``, and its table holds the
+        sum of one row per covered position for every possible index —
+        precomputed once here.  The bias folds into the first table.
+        """
+        hidden = weight.shape[1]
+        groups: List[_Group] = []
+        offset = 0
+        for base, width in zip(self.key_encoder.bases,
+                               self.key_encoder.widths):
+            size = 1
+            while (size < width
+                   and (base ** (size + 1)) * hidden * 4 <= _TABLE_BYTES_CAP):
+                size += 1
+            lo = 0
+            while lo < width:
+                hi = min(lo + size, width)
+                table = None
+                for p in range(lo, hi):
+                    rows = weight[offset + p * base: offset + (p + 1) * base]
+                    table = rows if table is None else (
+                        table[:, None, :] + rows[None, :, :]
+                    ).reshape(-1, hidden)
+                groups.append((
+                    np.ascontiguousarray(table),
+                    base ** (width - hi),
+                    base ** (hi - lo),
+                ))
+                lo = hi
+            offset += base * width
+        first = groups[0]
+        groups[0] = (first[0] + bias, first[1], first[2])
+        return groups
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _scratch(self, n: int):
+        """Thread-local buffers sized for at least ``n`` rows.
+
+        Thread-local because the sharded store's fan-out may run lookups
+        against one structure from several threads at once; each thread
+        reuses its own buffers across batches and chunks.
+        """
+        local = self._local
+        if getattr(local, "capacity", -1) < n:
+            local.capacity = n
+            local.gidx = np.empty(n, dtype=np.int64)
+            local.slots = {
+                name: np.empty((n, width), dtype=np.float32)
+                for name, width in self._slot_widths.items()
+            }
+        return local
+
+    def _apply(self, layer, h: Optional[np.ndarray], keys: np.ndarray,
+               local, n: int) -> np.ndarray:
+        out = local.slots[layer.slot][:n]
+        if isinstance(layer, _FusedLayer):
+            gidx = local.gidx[:n]
+            tmp = local.slots[layer.slot + "/tmp"][:n]
+            for j, (table, shift, radix) in enumerate(layer.groups):
+                np.floor_divide(keys, shift, out=gidx)
+                np.remainder(gidx, radix, out=gidx)
+                # mode="clip" skips bounds checking (indices are in
+                # [0, radix) by construction) — several times faster.
+                if j == 0:
+                    np.take(table, gidx, axis=0, out=out, mode="clip")
+                else:
+                    np.take(table, gidx, axis=0, out=tmp, mode="clip")
+                    np.add(out, tmp, out=out)
+        else:
+            np.matmul(h, layer.weight, out=out)
+            np.add(out, layer.bias, out=out)
+        if layer.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def _forward(self, keys: np.ndarray) -> Dict[str, np.ndarray]:
+        """Logit views (into scratch) per task for one chunk of flat keys."""
+        n = keys.size
+        local = self._scratch(n)
+        h: Optional[np.ndarray] = None
+        for layer in self._trunk:
+            h = self._apply(layer, h, keys, local, n)
+        logits: Dict[str, np.ndarray] = {}
+        for task, chain in self._heads.items():
+            t = h
+            for layer in chain:
+                t = self._apply(layer, t, keys, local, n)
+            logits[task] = t
+        return logits
+
+    # ------------------------------------------------------------------
+    def run_logits(self, flat_keys: np.ndarray) -> Dict[str, np.ndarray]:
+        """Raw output logits per task (copied out of scratch).
+
+        Internally chunked so one huge call cannot permanently grow the
+        thread-local scratch (the engine is long-lived and cached).
+        """
+        keys = self._checked(flat_keys)
+        n = keys.size
+        out = {
+            task: np.empty((n, self.session.spec.output_dims[task]),
+                           dtype=np.float32)
+            for task in self.tasks
+        }
+        step = max(1, min(n, 65536)) if n else 1
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            logits = self._forward(keys[start:stop])
+            for task in self.tasks:
+                out[task][start:stop] = logits[task]
+        return out
+
+    def run(
+        self, flat_keys: np.ndarray, batch_size: Optional[int] = 65536
+    ) -> Dict[str, np.ndarray]:
+        """Predicted label codes per task (argmax), computed in chunks.
+
+        Accepts flat integer keys; mirrors ``InferenceSession.run`` over
+        the equivalent one-hot encoding.
+        """
+        keys = self._checked(flat_keys)
+        n = keys.size
+        out = {task: np.empty(n, dtype=np.int64) for task in self.tasks}
+        if n == 0:
+            return out
+        # batch_size=None still caps the internal chunk: codes are
+        # identical either way, and one huge call must not permanently
+        # grow the cached engine's thread-local scratch.
+        step = min(n, 65536) if batch_size is None else max(1, int(batch_size))
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            logits = self._forward(keys[start:stop])
+            for task in self.tasks:
+                out[task][start:stop] = logits[task].argmax(axis=1)
+        return out
+
+    def _checked(self, flat_keys) -> np.ndarray:
+        keys = np.asarray(flat_keys, dtype=np.int64).reshape(-1)
+        if keys.size and keys.min() < 0:
+            raise ValueError("keys must be non-negative")
+        return keys
+
+    def __repr__(self) -> str:
+        n_tables = sum(
+            len(layer.groups)
+            for layer in [*self._trunk,
+                          *(l for c in self._heads.values() for l in c)]
+            if isinstance(layer, _FusedLayer)
+        )
+        return (
+            f"CompiledSession(tasks={list(self.tasks)}, "
+            f"group_tables={n_tables}, "
+            f"params={self.session.param_count()})"
+        )

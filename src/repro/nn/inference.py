@@ -46,6 +46,7 @@ class InferenceSession:
                    for w, b in chain]
             for task, chain in heads.items()
         }
+        self._nbytes: Optional[int] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -129,6 +130,7 @@ class InferenceSession:
         session.weight_dtype = np.dtype(data["weight_dtype"])
         session._shared = data["shared"]
         session._heads = data["heads"]
+        session._nbytes = len(payload)
         return session
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
@@ -146,8 +148,15 @@ class InferenceSession:
 
     @property
     def nbytes(self) -> int:
-        """Serialized model size — the ``size(M)`` term in Eq. 1."""
-        return len(self.to_bytes())
+        """Serialized model size — the ``size(M)`` term in Eq. 1.
+
+        Memoized: the weights are frozen, so the blob length never
+        changes, and size accounting (``size_report`` → ``storage_bytes``
+        → ``__repr__``) asks for it repeatedly.
+        """
+        if self._nbytes is None:
+            self._nbytes = len(self.to_bytes())
+        return self._nbytes
 
     def param_count(self) -> int:
         """Total scalar weights."""

@@ -12,7 +12,9 @@ Batched lookups are executed in three vectorized stages:
 1. **route** — the :mod:`~repro.shard.router` assigns every query key a
    shard ordinal with NumPy array arithmetic (no per-key Python loops);
 2. **fan out** — one stable argsort groups keys by shard; each owning
-   shard runs its normal batched lookup, either inline or on a shared
+   shard runs its normal batched lookup — through its own compiled
+   fused kernel (:class:`~repro.nn.compiled.CompiledSession`, built
+   eagerly at fit/load time) — either inline or on a shared
    :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy kernels release
    the GIL, so shards overlap on multi-core hosts);
 3. **merge** — per-shard results are concatenated in group order and the
@@ -182,6 +184,8 @@ class ShardedDeepMapping:
         else:
             shards = [build_one(s) for s in range(sharding.n_shards)]
 
+        # No compile_engines() here: DeepMapping.fit already leaves each
+        # shard holding its freshly compiled engine.
         return cls(router, shards, config, sharding,
                    value_names=value_names, value_dtypes=value_dtypes,
                    stats=stats, pool=pool)
@@ -211,6 +215,25 @@ class ShardedDeepMapping:
     def shard_row_counts(self) -> List[int]:
         """Live keys per shard, in shard order."""
         return [0 if shard is None else len(shard) for shard in self.shards]
+
+    def compile_engines(self) -> int:
+        """Eagerly build every live shard's fused lookup kernel.
+
+        Lookups would compile lazily on first use; doing it at load time
+        (fit-time shards already carry the engine their build produced)
+        keeps first-query latency flat and guarantees the thread-pool
+        fan-out hits a ready :class:`~repro.nn.compiled.CompiledSession`
+        in each shard.  Returns the number of engines ready; no-op when
+        the config disables the compiled path.
+        """
+        if not getattr(self.config, "compiled_lookup", True):
+            return 0
+        count = 0
+        for shard in self.shards:
+            if shard is not None:
+                shard.compiled_session()
+                count += 1
+        return count
 
     def storage_bytes(self) -> int:
         """Total offline footprint across shards."""
@@ -531,9 +554,11 @@ class ShardedDeepMapping:
             ))
         value_dtypes = {name: np.dtype(spec)
                         for name, spec in manifest.value_dtypes.items()}
-        return cls(router, shards, config, sharding,
-                   value_names=tuple(manifest.value_names),
-                   value_dtypes=value_dtypes, stats=stats, pool=pool)
+        store = cls(router, shards, config, sharding,
+                    value_names=tuple(manifest.value_names),
+                    value_dtypes=value_dtypes, stats=stats, pool=pool)
+        store.compile_engines()
+        return store
 
     # ------------------------------------------------------------------
     # Input normalization (shared with DeepMapping: identical shapes)

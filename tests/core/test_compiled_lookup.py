@@ -1,0 +1,250 @@
+"""The compiled read path: gating, parity with the reference path, and
+engine invalidation across mutations and rebuilds."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import DeepMapping, DeepMappingConfig
+from repro.data import ColumnTable, synthetic
+from repro.nn import CompiledSession
+from repro.shard import ShardedDeepMapping, ShardingConfig
+
+from .conftest import fast_config
+
+
+@pytest.fixture
+def gap_table():
+    """Keys with gaps so in-domain misses exist (every third key)."""
+    keys = np.arange(0, 3000, 3, dtype=np.int64)
+    rng = np.random.default_rng(11)
+    return ColumnTable(
+        {"key": keys, "status": rng.choice(np.array(["A", "B", "C"]),
+                                           size=keys.size)},
+        key=("key",),
+        name="gaps",
+    )
+
+
+def mixed_query(table, rng, n_hits=400, n_misses=400):
+    """Present keys + in-domain absent keys + out-of-domain keys."""
+    keys = table.column("key")
+    hits = rng.choice(keys, size=n_hits, replace=True)
+    misses = rng.choice(keys[:-1] + 1, size=n_misses, replace=True)  # gaps
+    out_of_domain = np.array([keys.max() + 1000, -5], dtype=np.int64)
+    query = np.concatenate([hits, misses, out_of_domain])
+    rng.shuffle(query)
+    return {"key": query}
+
+
+class TestCompiledLookupParity:
+    def test_compiled_and_reference_paths_agree(self, gap_table):
+        """Same found mask and identical values on found rows."""
+        compiled_dm = DeepMapping.fit(gap_table, fast_config())
+        reference_dm = DeepMapping.fit(
+            gap_table, fast_config(compiled_lookup=False))
+        query = mixed_query(gap_table, np.random.default_rng(0))
+        a = compiled_dm.lookup(query)
+        b = reference_dm.lookup(query)
+        np.testing.assert_array_equal(a.found, b.found)
+        for column in a.values:
+            np.testing.assert_array_equal(a.values[column][a.found],
+                                          b.values[column][b.found])
+
+    def test_compiled_lookup_is_lossless(self, gap_table):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        result = dm.lookup({"key": gap_table.column("key")})
+        assert result.found.all()
+        np.testing.assert_array_equal(result.values["status"],
+                                      gap_table.column("status"))
+
+    def test_all_missing_batch_skips_inference(self, gap_table,
+                                               monkeypatch):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        calls = []
+        engine = dm.compiled_session()
+        original = engine.run
+        monkeypatch.setattr(
+            engine, "run",
+            lambda *a, **k: (calls.append(1), original(*a, **k))[1])
+        absent = {"key": gap_table.column("key")[:50] + 1}
+        result = dm.lookup(absent)
+        assert not result.found.any()
+        assert calls == []  # existence gate short-circuits the model
+
+    def test_empty_batch(self, gap_table):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        result = dm.lookup({"key": np.empty(0, dtype=np.int64)})
+        assert len(result) == 0
+
+    def test_toggle_off_after_build_stays_lossless(self, gap_table):
+        """T_aux covers the union of both predictors' errors, so flipping
+        a compiled-built store to the reference path at query time keeps
+        every answer identical (including post-mutation rows)."""
+        dm = DeepMapping.fit(gap_table, fast_config(
+            key_headroom_fraction=0.5))
+        dm.insert({"key": np.array([3001, 3004], dtype=np.int64),
+                   "status": np.array(["A", "B"])})
+        dm.update({"key": np.array([3001], dtype=np.int64),
+                   "status": np.array(["C"])})
+        query = {"key": np.concatenate([gap_table.column("key"),
+                                        np.array([3001, 3004])])}
+        compiled = dm.lookup(query)
+        dm.config = dataclasses.replace(dm.config, compiled_lookup=False)
+        reference = dm.lookup(query)
+        np.testing.assert_array_equal(compiled.found, reference.found)
+        assert compiled.found.all()
+        np.testing.assert_array_equal(compiled.values["status"],
+                                      reference.values["status"])
+
+    def test_value_column_named_shared(self):
+        """Internal scratch scopes must not collide with task names."""
+        keys = np.arange(0, 600, 2, dtype=np.int64)
+        rng = np.random.default_rng(13)
+        table = ColumnTable(
+            {"key": keys,
+             "shared": rng.choice(np.array(["x", "y"]), size=keys.size),
+             "head": (keys % 4).astype(np.int64)},
+            key=("key",),
+        )
+        dm = DeepMapping.fit(table, fast_config())
+        result = dm.lookup({"key": keys})
+        assert result.found.all()
+        np.testing.assert_array_equal(result.values["shared"],
+                                      table.column("shared"))
+        np.testing.assert_array_equal(result.values["head"],
+                                      table.column("head"))
+
+    def test_reference_toggle_is_respected(self, gap_table, monkeypatch):
+        dm = DeepMapping.fit(gap_table, fast_config(compiled_lookup=False))
+        def boom(*a, **k):
+            raise AssertionError("compiled engine must not be used")
+        monkeypatch.setattr(DeepMapping, "compiled_session", boom)
+        result = dm.lookup({"key": gap_table.column("key")[:20]})
+        assert result.found.all()
+
+
+class TestEngineLifecycle:
+    def test_fit_prewarms_engine(self, gap_table):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        assert isinstance(dm._compiled, CompiledSession)
+        assert dm.compiled_session() is dm._compiled
+
+    def test_engine_cached_across_lookups(self, gap_table):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        engine = dm.compiled_session()
+        dm.lookup({"key": gap_table.column("key")[:10]})
+        assert dm.compiled_session() is engine
+
+    def test_rebuild_recompiles_engine(self, gap_table):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        stale = dm.compiled_session()
+        dm.rebuild()
+        fresh = dm.compiled_session()
+        assert fresh is not stale
+        assert fresh.session is dm.session
+        result = dm.lookup({"key": gap_table.column("key")})
+        assert result.found.all()
+        np.testing.assert_array_equal(result.values["status"],
+                                      gap_table.column("status"))
+
+    def test_insert_triggered_retrain_recompiles(self, gap_table):
+        # A tiny retrain threshold makes the first insert trip a rebuild.
+        dm = DeepMapping.fit(
+            gap_table,
+            fast_config(retrain_threshold_bytes=1,
+                        key_headroom_fraction=0.5),
+        )
+        stale = dm.compiled_session()
+        new_keys = np.array([3001, 3004], dtype=np.int64)
+        dm.insert({"key": new_keys, "status": np.array(["A", "B"])})
+        assert dm.compiled_session() is not stale
+        result = dm.lookup({"key": new_keys})
+        assert result.found.all()
+        np.testing.assert_array_equal(result.values["status"],
+                                      np.array(["A", "B"]))
+
+    def test_stale_engine_detected_without_explicit_reset(self, gap_table):
+        # Belt and braces: even if an engine survives a session swap, the
+        # identity check in compiled_session() recompiles.
+        dm = DeepMapping.fit(gap_table, fast_config())
+        stale = dm.compiled_session()
+        other = DeepMapping.fit(gap_table, fast_config(seed=5))
+        dm.session = other.session
+        dm.key_encoder = other.key_encoder
+        assert dm.compiled_session() is not stale
+
+    def test_save_load_roundtrip_keeps_compiled_lookups(self, gap_table,
+                                                        tmp_path):
+        dm = DeepMapping.fit(gap_table, fast_config())
+        path = str(tmp_path / "store.dm")
+        dm.save(path)
+        clone = DeepMapping.load(path)
+        result = clone.lookup({"key": gap_table.column("key")})
+        assert result.found.all()
+        np.testing.assert_array_equal(result.values["status"],
+                                      gap_table.column("status"))
+        assert isinstance(clone.compiled_session(), CompiledSession)
+
+
+class TestShardedCompiledEngines:
+    def test_fit_compiles_one_engine_per_live_shard(self):
+        table = synthetic.single_column(2000, "high", seed=3)
+        store = ShardedDeepMapping.fit(
+            table, fast_config(), ShardingConfig(n_shards=4))
+        live = [s for s in store.shards if s is not None]
+        assert all(isinstance(s._compiled, CompiledSession) for s in live)
+
+    def test_sharded_lookup_matches_reference_path(self):
+        table = synthetic.single_column(2000, "high", seed=3)
+        compiled_store = ShardedDeepMapping.fit(
+            table, fast_config(), ShardingConfig(n_shards=4))
+        reference_store = ShardedDeepMapping.fit(
+            table, fast_config(compiled_lookup=False),
+            ShardingConfig(n_shards=4))
+        rng = np.random.default_rng(1)
+        keys = table.column("key")
+        query = {"key": np.concatenate([
+            rng.choice(keys, size=500),
+            np.array([keys.max() + 7, keys.max() + 9999]),
+        ])}
+        a = compiled_store.lookup(query)
+        b = reference_store.lookup(query)
+        np.testing.assert_array_equal(a.found, b.found)
+        for column in a.values:
+            np.testing.assert_array_equal(a.values[column][a.found],
+                                          b.values[column][b.found])
+        compiled_store.close()
+        reference_store.close()
+
+    def test_load_compiles_engines(self, tmp_path):
+        table = synthetic.single_column(1500, "high", seed=4)
+        store = ShardedDeepMapping.fit(
+            table, fast_config(), ShardingConfig(n_shards=2))
+        store.save(str(tmp_path / "store.dms"))
+        store.close()
+        clone = ShardedDeepMapping.load(str(tmp_path / "store.dms"))
+        live = [s for s in clone.shards if s is not None]
+        assert live and all(isinstance(s._compiled, CompiledSession)
+                            for s in live)
+        assert clone.lookup({"key": table.column("key")}).found.all()
+        clone.close()
+
+    def test_compile_engines_noop_when_disabled(self):
+        table = synthetic.single_column(1000, "high", seed=5)
+        store = ShardedDeepMapping.fit(
+            table, fast_config(compiled_lookup=False),
+            ShardingConfig(n_shards=2))
+        assert store.compile_engines() == 0
+        store.close()
+
+
+def test_config_pickled_without_flag_defaults_to_compiled(gap_table):
+    """Configs saved before the knob existed must load as compiled-on."""
+    dm = DeepMapping.fit(gap_table, fast_config())
+    legacy = dataclasses.replace(dm.config)
+    del legacy.__dict__["compiled_lookup"]
+    dm.config = legacy
+    assert dm._use_compiled()
+    assert dm.lookup({"key": gap_table.column("key")[:10]}).found.all()

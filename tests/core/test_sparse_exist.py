@@ -62,6 +62,26 @@ class TestSparseIndex:
         huge_domain.set_batch(keys)
         assert huge_domain.nbytes == small_domain.nbytes
 
+    def test_stored_bytes_excludes_tag_and_domain_header(self):
+        """size(V_exist) counts the compressed keys only — not the 1-byte
+        format tag or 8-byte domain header — mirroring the dense
+        variant's accounting in the Eq. 1 objective."""
+        index = SparseExistenceIndex(10**10)
+        index.set_batch(np.array([1, 7, 10**9], dtype=np.int64))
+        assert index.stored_bytes() == len(index.to_bytes()) - 9
+
+    def test_stored_bytes_matches_dense_accounting_convention(self):
+        """Dense counts len(compressed bits); sparse must likewise count
+        only its compressed payload, so the Eq. 1 comparison between the
+        two variants is apples-to-apples."""
+        dense = ExistenceIndex(512)
+        overhead = len(dense.to_bytes()) - dense.stored_bytes()
+        assert overhead == 1  # dense: tag only
+        sparse = SparseExistenceIndex(512)
+        sparse.set_batch(np.array([3, 400], dtype=np.int64))
+        overhead = len(sparse.to_bytes()) - sparse.stored_bytes()
+        assert overhead == 9  # sparse: tag + domain header
+
 
 class TestSelector:
     def test_dense_for_dense_domains(self):

@@ -1,0 +1,136 @@
+"""Parity tests: CompiledSession vs the reference InferenceSession.
+
+The compiled engine must predict exactly the label codes the reference
+path predicts (``InferenceSession.run`` over the one-hot encoding) on
+every supported configuration — that is the oracle the lookup algorithm
+was built against.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.encoding import KeyEncoder
+from repro.nn import (ArchitectureSpec, CompiledSession, InferenceSession,
+                      MultiTaskMLP)
+
+
+def make_pair(bases, shared_sizes, private_sizes, output_dims, max_key,
+              weight_dtype="float16", seed=7):
+    """A (reference session, compiled session, encoder) triple."""
+    rng = np.random.default_rng(seed)
+    encoder = KeyEncoder(bases).fit(max_key)
+    spec = ArchitectureSpec(
+        input_dim=encoder.input_dim,
+        shared_sizes=shared_sizes,
+        private_sizes=private_sizes,
+        output_dims=output_dims,
+    )
+    model = MultiTaskMLP(spec, rng=rng)
+    session = InferenceSession.from_model(model, weight_dtype=weight_dtype)
+    return session, CompiledSession(session, encoder), encoder
+
+
+def assert_codes_match(session, compiled, encoder, keys, batch_size=None):
+    reference = session.run(encoder.encode(keys), batch_size=batch_size)
+    got = compiled.run(keys, batch_size=batch_size)
+    assert set(got) == set(reference)
+    for task in reference:
+        np.testing.assert_array_equal(got[task], reference[task])
+
+
+CONFIGS = [
+    pytest.param(10, (12,), {"a": (6,), "b": ()}, {"a": 4, "b": 3},
+                 id="single-base-trunk"),
+    pytest.param((10, 7, 4), (16,), {"a": (8,)}, {"a": 5},
+                 id="multi-base-trunk"),
+    pytest.param(10, (), {"a": (6,), "b": ()}, {"a": 4, "b": 3},
+                 id="no-trunk-fused-heads"),
+    pytest.param((10, 3), (12, 8), {"a": ()}, {"a": 9},
+                 id="deep-trunk"),
+    pytest.param(2, (10,), {"a": ()}, {"a": 4},
+                 id="binary-base-wide-groups"),
+]
+
+
+class TestParity:
+    @pytest.mark.parametrize("bases,shared,private,outputs", CONFIGS)
+    @pytest.mark.parametrize("dtype", ["float16", "float32"])
+    def test_codes_match_reference(self, bases, shared, private, outputs,
+                                   dtype):
+        session, compiled, encoder = make_pair(
+            bases, shared, private, outputs, max_key=99999,
+            weight_dtype=dtype)
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 100000, size=4000)
+        assert_codes_match(session, compiled, encoder, keys)
+
+    def test_chunked_run_equals_single_shot(self):
+        session, compiled, encoder = make_pair(
+            10, (12,), {"a": (6,)}, {"a": 4}, max_key=9999)
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 10000, size=2500)
+        single = compiled.run(keys, batch_size=None)
+        chunked = compiled.run(keys, batch_size=333)
+        np.testing.assert_array_equal(single["a"], chunked["a"])
+        assert_codes_match(session, compiled, encoder, keys, batch_size=333)
+
+    def test_empty_batch(self):
+        _, compiled, _ = make_pair(10, (8,), {"a": ()}, {"a": 3},
+                                   max_key=999)
+        out = compiled.run(np.empty(0, dtype=np.int64))
+        assert out["a"].shape == (0,)
+        assert out["a"].dtype == np.int64
+        logits = compiled.run_logits(np.empty(0, dtype=np.int64))
+        assert logits["a"].shape == (0, 3)
+
+    def test_composite_style_key_domain(self):
+        # Keys spanning a wide flattened composite domain (many digits).
+        session, compiled, encoder = make_pair(
+            10, (16,), {"a": (8,), "b": ()}, {"a": 6, "b": 2},
+            max_key=10**8 - 1)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 10**8, size=3000)
+        assert_codes_match(session, compiled, encoder, keys)
+
+    def test_logits_close_to_reference(self):
+        session, compiled, encoder = make_pair(
+            10, (12,), {"a": (6,)}, {"a": 4}, max_key=9999,
+            weight_dtype="float32")
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 10000, size=500)
+        reference = session.run_logits(encoder.encode(keys))
+        got = compiled.run_logits(keys)
+        np.testing.assert_allclose(got["a"], reference["a"],
+                                   rtol=1e-5, atol=1e-5)
+
+
+class TestValidation:
+    def test_unfitted_encoder_rejected(self):
+        session, _, _ = make_pair(10, (8,), {"a": ()}, {"a": 3}, max_key=99)
+        with pytest.raises(ValueError):
+            CompiledSession(session, KeyEncoder(10))
+
+    def test_input_dim_mismatch_rejected(self):
+        session, _, _ = make_pair(10, (8,), {"a": ()}, {"a": 3}, max_key=99)
+        wrong = KeyEncoder(10).fit(10**6)
+        with pytest.raises(ValueError):
+            CompiledSession(session, wrong)
+
+    def test_negative_keys_rejected(self):
+        _, compiled, _ = make_pair(10, (8,), {"a": ()}, {"a": 3}, max_key=99)
+        with pytest.raises(ValueError):
+            compiled.run(np.array([3, -1]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=10**6 - 1),
+                     min_size=0, max_size=200))
+def test_parity_property_random_batches(keys):
+    """Property: any key batch yields the reference path's codes."""
+    session, compiled, encoder = make_pair(
+        (10, 7), (10,), {"a": (5,), "b": ()}, {"a": 4, "b": 3},
+        max_key=10**6 - 1)
+    arr = np.array(keys, dtype=np.int64)
+    assert_codes_match(session, compiled, encoder, arr)

@@ -82,3 +82,25 @@ class TestSerialization:
     def test_nbytes_equals_serialized_length(self, np_rng):
         session = InferenceSession.from_model(trained_model(np_rng))
         assert session.nbytes == len(session.to_bytes())
+
+    def test_nbytes_memoized(self, np_rng, monkeypatch):
+        """Weights are frozen, so the blob is pickled at most once."""
+        session = InferenceSession.from_model(trained_model(np_rng))
+        calls = []
+        original = InferenceSession.to_bytes
+        monkeypatch.setattr(
+            InferenceSession, "to_bytes",
+            lambda self: (calls.append(1), original(self))[1])
+        expected = session.nbytes
+        assert session.nbytes == expected
+        assert repr(session)  # __repr__ paths must not re-pickle either
+        assert len(calls) <= 1
+
+    def test_from_bytes_knows_nbytes_without_repickling(self, np_rng,
+                                                        monkeypatch):
+        payload = InferenceSession.from_model(trained_model(np_rng)).to_bytes()
+        clone = InferenceSession.from_bytes(payload)
+        monkeypatch.setattr(
+            InferenceSession, "to_bytes",
+            lambda self: (_ for _ in ()).throw(AssertionError("re-pickled")))
+        assert clone.nbytes == len(payload)
