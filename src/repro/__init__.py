@@ -9,6 +9,9 @@ Public API highlights
 - :class:`repro.ShardedDeepMapping` / :class:`repro.ShardingConfig` — the
   horizontally sharded store: N independent DeepMapping shards behind one
   facade, with vectorized routing and parallel batched lookups.
+- :class:`repro.LifecycleConfig` / :mod:`repro.lifecycle` — write-side
+  maintenance: pluggable retrain policies, range shard split/merge
+  rebalancing, per-shard MHAS model sizing.
 - :mod:`repro.core.mhas` — multi-task hybrid architecture search.
 - :mod:`repro.baselines` — AB/ABC-*, HB/HBC-*, DeepSqueeze comparators.
 - :mod:`repro.data` — TPC-H / TPC-DS / synthetic / crop dataset generators.
@@ -28,7 +31,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, bench, core, data, nn, shard, storage
+from . import baselines, bench, core, data, lifecycle, nn, shard, storage
 from .core import (
     DeepMapping,
     DeepMappingConfig,
@@ -40,6 +43,7 @@ from .core import (
     lookup_range,
 )
 from .data import ColumnTable
+from .lifecycle import LifecycleConfig, MaintenanceEngine
 from .shard import ShardedDeepMapping, ShardingConfig
 
 __all__ = [
@@ -52,6 +56,8 @@ __all__ = [
     "MultiRelationDeepMapping",
     "ShardedDeepMapping",
     "ShardingConfig",
+    "LifecycleConfig",
+    "MaintenanceEngine",
     "lookup_range",
     "build_range_view",
     "ColumnTable",
@@ -59,6 +65,7 @@ __all__ = [
     "bench",
     "core",
     "data",
+    "lifecycle",
     "nn",
     "shard",
     "storage",

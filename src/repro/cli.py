@@ -32,6 +32,7 @@ import numpy as np
 from .bench import format_storage_latency_table, run_comparison
 from .core import DeepMapping, DeepMappingConfig
 from .data import ColumnTable, crop, synthetic, tpcds, tpch
+from .lifecycle import LifecycleConfig, POLICY_NAMES
 from .shard import ShardedDeepMapping, ShardingConfig, is_sharded_store
 
 __all__ = ["main", "load_dataset"]
@@ -91,9 +92,43 @@ def _load_structure(path: str) -> Union[DeepMapping, ShardedDeepMapping]:
     return DeepMapping.load(path)
 
 
+def _lifecycle_from_args(args: argparse.Namespace) -> Optional[LifecycleConfig]:
+    """A LifecycleConfig when any lifecycle knob was given, else None."""
+    wants = (args.rebalance or args.per_shard_mhas
+             or args.retrain_policy is not None
+             or args.retrain_bytes is not None)
+    if not wants:
+        return None
+    if args.retrain_policy == "bytes" and args.retrain_bytes is None:
+        # BytesThresholdPolicy(None) never fires — the explicitly
+        # requested policy would silently behave like "never".
+        raise SystemExit("--retrain-policy bytes needs --retrain-bytes")
+    if args.retrain_policy is not None:
+        policy = args.retrain_policy
+    elif args.retrain_bytes is not None:
+        policy = "bytes"
+    else:
+        # Only --rebalance / --per-shard-mhas given: no retrain trigger
+        # was requested, so say so instead of a thresholdless "bytes".
+        policy = "never"
+    return LifecycleConfig(
+        policy=policy,
+        retrain_bytes=args.retrain_bytes,
+        rebalance=args.rebalance,
+        per_shard_mhas=args.per_shard_mhas,
+    )
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    lifecycle = _lifecycle_from_args(args)
+    if lifecycle is not None and args.shards == 1:
+        raise SystemExit("lifecycle knobs (--rebalance / --per-shard-mhas / "
+                         "--retrain-*) need --shards > 1")
+    if lifecycle is not None and lifecycle.rebalance \
+            and args.shard_strategy != "range":
+        raise SystemExit("--rebalance requires --shard-strategy range")
     table = load_dataset(args.dataset, args.scale, args.seed)
     print(f"building DeepMapping over {table.name}: {table.n_rows} rows, "
           f"{table.uncompressed_bytes() // 1024} KB raw")
@@ -101,9 +136,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
         dm = ShardedDeepMapping.fit(
             table, _config_from_args(args),
             ShardingConfig(n_shards=args.shards,
-                           strategy=args.shard_strategy))
+                           strategy=args.shard_strategy,
+                           lifecycle=lifecycle))
         print(f"sharded {args.shard_strategy} x{args.shards}: "
               f"rows/shard {dm.shard_row_counts()}")
+        if dm.engine is not None:
+            summary = dm.engine.summary()
+            print(f"lifecycle: policy={summary['policy']} "
+                  f"rebalance={summary['rebalance']} "
+                  f"per-shard-mhas={summary['per_shard_mhas']}")
     else:
         dm = DeepMapping.fit(table, _config_from_args(args))
     report = dm.size_report()
@@ -123,6 +164,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
     if isinstance(dm, ShardedDeepMapping):
         print(f"shards:       {dm.n_shards} "
               f"({dm.sharding.strategy}; rows {dm.shard_row_counts()})")
+        if dm.engine is not None:
+            summary = dm.engine.summary()
+            print(f"lifecycle:    policy={summary['policy']}, "
+                  f"rebalance={summary['rebalance']}, "
+                  f"per-shard-mhas={summary['per_shard_mhas']}; "
+                  f"{summary['rebuilds']} rebuilds, "
+                  f"{summary['splits']} splits, {summary['merges']} merges")
     print(f"model:        {report.model_bytes:>10,} B")
     print(f"aux table:    {report.aux_bytes:>10,} B ({report.n_in_aux} rows)")
     print(f"exist vector: {report.exist_bytes:>10,} B")
@@ -213,6 +261,17 @@ def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard-strategy", default="range",
                         choices=["range", "hash"],
                         help="shard placement policy (with --shards > 1)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="enable range shard split/merge rebalancing "
+                             "under inserts (with --shards > 1)")
+    parser.add_argument("--per-shard-mhas", action="store_true",
+                        help="right-size each shard's architecture to its "
+                             "row count (with --shards > 1)")
+    parser.add_argument("--retrain-policy", default=None,
+                        choices=list(POLICY_NAMES),
+                        help="lifecycle retrain trigger (with --shards > 1)")
+    parser.add_argument("--retrain-bytes", type=int, default=None,
+                        help="byte threshold for the 'bytes' retrain policy")
 
 
 def build_parser() -> argparse.ArgumentParser:

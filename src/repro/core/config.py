@@ -69,6 +69,13 @@ class DeepMappingConfig:
     #: Retrain once this many bytes have been inserted/deleted/updated
     #: since the last build (paper's DM-Z1 uses 200MB); None disables.
     retrain_threshold_bytes: Optional[int] = None
+    #: Retrain once ``len(T_aux) / n_rows`` exceeds this fraction — the
+    #: auxiliary table absorbing modifications is the structure's storage
+    #: regression, so bounding its share bounds the compression loss
+    #: between retrains.  None disables the check.  Structures under
+    #: ``modify.MIN_ROWS_FOR_RATIO_RETRAIN`` rows never fire it (tiny
+    #: tables whose residuals dominate ``T_aux`` would thrash).
+    retrain_aux_ratio: Optional[float] = None
     #: Initialize retrains from the previous model's weights — the paper's
     #: model-reuse direction (Sec. V-D); big speedup on the retrain path.
     warm_start_rebuild: bool = True
@@ -105,3 +112,5 @@ class DeepMappingConfig:
             raise ValueError("aux_auto_compact_rows must be positive")
         if self.retrain_threshold_bytes is not None and self.retrain_threshold_bytes <= 0:
             raise ValueError("retrain_threshold_bytes must be positive or None")
+        if self.retrain_aux_ratio is not None and not 0 < self.retrain_aux_ratio <= 1:
+            raise ValueError("retrain_aux_ratio must be in (0, 1] or None")

@@ -37,7 +37,8 @@ from ..storage.stats import StoreStats
 from .aux_table import AuxiliaryTable
 from .config import DeepMappingConfig
 from .exist_index import ExistenceIndex, load_existence, make_existence_index
-from .modify import ModificationTracker, estimate_batch_bytes
+from .modify import (MIN_ROWS_FOR_RATIO_RETRAIN, ModificationTracker,
+                     estimate_batch_bytes)
 
 __all__ = ["DeepMapping", "LookupResult", "SizeReport",
            "normalize_keys", "normalize_rows"]
@@ -186,6 +187,11 @@ class DeepMapping:
         self.config = config
         self.stats = stats if stats is not None else StoreStats()
         self.tracker = ModificationTracker(config.retrain_threshold_bytes)
+        #: When False, modifications only *record* into the tracker; the
+        #: retrain decision is owned by an external maintenance engine
+        #: (see :class:`repro.lifecycle.MaintenanceEngine`) instead of
+        #: firing inline in the mutating call.
+        self.auto_rebuild = True
         self._dataset_bytes = int(dataset_bytes)
         #: Lazily compiled fused lookup kernel (see :meth:`compiled_session`).
         self._compiled: Optional[CompiledSession] = None
@@ -587,7 +593,7 @@ class DeepMapping:
     # ------------------------------------------------------------------
     # Retraining (paper Sec. IV-D closing discussion)
     # ------------------------------------------------------------------
-    def rebuild(self) -> None:
+    def rebuild(self, config: Optional[DeepMappingConfig] = None) -> None:
         """Retrain the model and reconstruct the auxiliary structures from
         the current logical content (triggered lazily by the tracker).
 
@@ -595,19 +601,27 @@ class DeepMapping:
         initialized from the current model's weights — the paper's
         model-reuse optimization for its expensive retraining step.
 
+        ``config`` optionally replaces the build configuration for this and
+        future rebuilds — the hook behind per-shard MHAS sizing, where a
+        lifecycle rebuild right-sizes the architecture to the rows the
+        shard now holds (warm-start tensors transfer only where shapes
+        still match).
+
         The rebuilt auxiliary table keeps this structure's buffer pool and
         partition-name prefix (co-hosted structures like the sharded store
         rely on both), and the retired table's cached partitions are purged
         so the successor never reads stale blocks under its own names.
         """
         table = self.to_table()
+        build_config = config if config is not None else self.config
         warm = (self.session.state_arrays()
-                if self.config.warm_start_rebuild and not self.config.use_search
+                if build_config.warm_start_rebuild and not build_config.use_search
                 else None)
-        fresh = DeepMapping.fit(table, self.config, pool=self.aux.pool,
+        fresh = DeepMapping.fit(table, build_config, pool=self.aux.pool,
                                 stats=self.stats, warm_start=warm,
                                 aux_name_prefix=self.aux.name_prefix)
         self.aux.drop_storage()
+        self.config = fresh.config
         self.key_codec = fresh.key_codec
         self.key_encoder = fresh.key_encoder
         self.session = fresh.session
@@ -622,10 +636,25 @@ class DeepMapping:
         # are off — the staleness check in compiled_session() would also
         # catch a stale engine).
         self._compiled = fresh._compiled
+        self.tracker.threshold_bytes = self.config.retrain_threshold_bytes
         self.tracker.mark_rebuilt()
 
+    def aux_ratio(self) -> float:
+        """Fraction of live rows currently served from ``T_aux``."""
+        n_rows = len(self)
+        if n_rows == 0:
+            return 0.0
+        return len(self.aux) / n_rows
+
     def _maybe_retrain(self) -> None:
-        if self.tracker.should_retrain():
+        if not self.auto_rebuild:
+            return
+        trigger = self.tracker.should_retrain()
+        ratio_bound = getattr(self.config, "retrain_aux_ratio", None)
+        if (not trigger and ratio_bound is not None
+                and len(self) >= MIN_ROWS_FOR_RATIO_RETRAIN):
+            trigger = self.aux_ratio() >= ratio_bound
+        if trigger:
             self.rebuild()
 
     def to_table(self) -> ColumnTable:
@@ -662,6 +691,9 @@ class DeepMapping:
             "aux_keys": aux_keys,
             "aux_codes": aux_codes,
             "dataset_bytes": self._dataset_bytes,
+            # Sec. IV-D lazy-update state: without this a loaded store
+            # would restart the retrain threshold from zero every reopen.
+            "tracker": self.tracker.to_state(),
         }
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         with open(path, "wb") as handle:
@@ -694,7 +726,7 @@ class DeepMapping:
             name_prefix=aux_name_prefix,
         )
         aux.build(state["aux_keys"], state["aux_codes"])
-        return cls(
+        mapping = cls(
             key_codec=CompositeKeyCodec.from_state(state["key_codec"]),
             key_encoder=KeyEncoder.from_state(state["key_encoder"]),
             session=InferenceSession.from_bytes(state["session"]),
@@ -705,6 +737,11 @@ class DeepMapping:
             dataset_bytes=state["dataset_bytes"],
             stats=stats,
         )
+        # Payloads written before tracker persistence lack the key; they
+        # keep today's behavior (counters restart at zero).
+        if "tracker" in state:
+            mapping.tracker.restore_counters(state["tracker"])
+        return mapping
 
     # ------------------------------------------------------------------
     # Input normalization
@@ -730,6 +767,11 @@ class DeepMapping:
                                 stats=self.stats,
                                 aux_name_prefix=self.aux.name_prefix)
         self.aux.drop_storage()
+        # The widened structure replaces this one wholesale, but the
+        # modification history and the external-maintenance flag belong to
+        # the logical store, not the build — carry both across.
+        fresh.tracker = self.tracker
+        fresh.auto_rebuild = self.auto_rebuild
         self.__dict__.update(fresh.__dict__)
         self.tracker.mark_rebuilt()
         # All rows (including the new ones) are now inside the structure;

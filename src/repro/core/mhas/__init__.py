@@ -8,12 +8,13 @@ from .reward import (
     measure_aux_bytes_per_row,
 )
 from .search import SearchOutcome, SearchSample, search
-from .search_space import MHASConfig, SearchSpace, WeightBank
+from .search_space import MHASConfig, SearchSpace, WeightBank, budgeted_config
 
 __all__ = [
     "MHASConfig",
     "SearchSpace",
     "WeightBank",
+    "budgeted_config",
     "Controller",
     "Trajectory",
     "SearchOutcome",

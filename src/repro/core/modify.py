@@ -15,7 +15,14 @@ import numpy as np
 
 from ..storage.serializer import serialized_size
 
-__all__ = ["ModificationTracker", "estimate_batch_bytes"]
+__all__ = ["ModificationTracker", "estimate_batch_bytes",
+           "MIN_ROWS_FOR_RATIO_RETRAIN"]
+
+#: Structures below this many rows skip ratio-based retrain triggers: a
+#: tiny table whose residual rows dominate ``T_aux`` would otherwise
+#: thrash through a full rebuild on nearly every mutation batch (the
+#: engine-side ``AuxRatioPolicy.min_rows`` guards the same way).
+MIN_ROWS_FOR_RATIO_RETRAIN = 64
 
 
 def estimate_batch_bytes(columns: Dict[str, np.ndarray]) -> int:
@@ -24,7 +31,14 @@ def estimate_batch_bytes(columns: Dict[str, np.ndarray]) -> int:
 
 
 class ModificationTracker:
-    """Counts modified bytes and checks the retrain threshold."""
+    """Counts modified bytes and checks the retrain threshold.
+
+    The counters are part of the structure's durable state: a store that
+    is saved, restarted, and loaded must keep accumulating toward the
+    same threshold, not silently restart from zero (see
+    :meth:`to_state` / :meth:`from_state`, persisted by
+    ``DeepMapping.save`` / ``load``).
+    """
 
     def __init__(self, threshold_bytes: Optional[int] = None):
         if threshold_bytes is not None and threshold_bytes <= 0:
@@ -50,6 +64,37 @@ class ModificationTracker:
         self.bytes_since_build = 0
         self.ops_since_build = 0
         self.total_retrains += 1
+
+    # ------------------------------------------------------------------
+    # Persistence (counters survive save/load)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Optional[int]]:
+        """JSON-friendly counter snapshot (inverse of :meth:`from_state`)."""
+        return {
+            "threshold_bytes": self.threshold_bytes,
+            "bytes_since_build": self.bytes_since_build,
+            "ops_since_build": self.ops_since_build,
+            "total_retrains": self.total_retrains,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Optional[int]]) -> "ModificationTracker":
+        """Restore a tracker, counters included."""
+        tracker = cls(state.get("threshold_bytes"))
+        tracker.bytes_since_build = int(state.get("bytes_since_build", 0))
+        tracker.ops_since_build = int(state.get("ops_since_build", 0))
+        tracker.total_retrains = int(state.get("total_retrains", 0))
+        return tracker
+
+    def restore_counters(self, state: Dict[str, Optional[int]]) -> None:
+        """Adopt saved counters onto this tracker (threshold kept as-is).
+
+        Used on load: the threshold comes from the (possibly newer) config
+        while the accumulated counters come from the saved payload.
+        """
+        self.bytes_since_build = int(state.get("bytes_since_build", 0))
+        self.ops_since_build = int(state.get("ops_since_build", 0))
+        self.total_retrains = int(state.get("total_retrains", 0))
 
     def __repr__(self) -> str:
         return (

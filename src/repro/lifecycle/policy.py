@@ -1,0 +1,229 @@
+"""Maintenance policies: when does a shard earn a retrain?
+
+The paper's lazy-update discussion (Sec. IV-D) retrains once accumulated
+modifications pass a byte threshold (the evaluation's DM-Z1 retrains after
+200MB).  The learned-compression literature since (Liu et al. 2024) frames
+update handling as a *policy* problem — different workloads want different
+triggers — so the engine takes the trigger as a pluggable object:
+
+- :class:`BytesThresholdPolicy` — the paper's DM-Z1 rule: retrain after N
+  modified bytes;
+- :class:`AuxRatioPolicy` — retrain when the auxiliary table serves more
+  than a fraction of live rows (bounds the compression regression between
+  retrains directly, instead of through a byte proxy);
+- :class:`NeverPolicy` — accumulate forever (modifications stay absorbed
+  in ``T_aux``; the operator retrains explicitly).
+
+Policies judge a :class:`ShardStats` snapshot, so they are trivially
+testable and independent of the store/engine layers.  This module is
+dependency-free on purpose: both :mod:`repro.core` and
+:mod:`repro.shard` may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+__all__ = [
+    "ShardStats",
+    "MaintenancePolicy",
+    "BytesThresholdPolicy",
+    "AuxRatioPolicy",
+    "NeverPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "LifecycleConfig",
+]
+
+POLICY_NAMES = ("bytes", "aux-ratio", "never")
+
+
+@dataclass
+class ShardStats:
+    """What a policy may look at when judging one shard."""
+
+    ordinal: int
+    n_rows: int
+    aux_rows: int
+    bytes_since_build: int
+    ops_since_build: int
+
+    @property
+    def aux_ratio(self) -> float:
+        """Fraction of live rows served from the auxiliary table."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.aux_rows / self.n_rows
+
+
+class MaintenancePolicy:
+    """Base class: decide whether a shard should retrain now."""
+
+    name = "base"
+
+    def should_retrain(self, stats: ShardStats) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BytesThresholdPolicy(MaintenancePolicy):
+    """Retrain after ``threshold_bytes`` of modifications (DM-Z1)."""
+
+    name = "bytes"
+
+    def __init__(self, threshold_bytes: Optional[int]):
+        if threshold_bytes is not None and threshold_bytes <= 0:
+            raise ValueError("threshold_bytes must be positive or None")
+        self.threshold_bytes = threshold_bytes
+
+    def should_retrain(self, stats: ShardStats) -> bool:
+        if self.threshold_bytes is None:
+            return False
+        return stats.bytes_since_build >= self.threshold_bytes
+
+    def __repr__(self) -> str:
+        return f"BytesThresholdPolicy(threshold={self.threshold_bytes})"
+
+
+class AuxRatioPolicy(MaintenancePolicy):
+    """Retrain when ``len(T_aux) / n_rows`` exceeds ``max_ratio``.
+
+    ``min_rows`` keeps freshly materialized micro-shards (whose first few
+    rows all sit in the aux table) from thrashing through retrains.
+    """
+
+    name = "aux-ratio"
+
+    def __init__(self, max_ratio: float, min_rows: int = 64):
+        if not 0 < max_ratio <= 1:
+            raise ValueError("max_ratio must be in (0, 1]")
+        self.max_ratio = float(max_ratio)
+        self.min_rows = int(min_rows)
+
+    def should_retrain(self, stats: ShardStats) -> bool:
+        if stats.n_rows < self.min_rows:
+            return False
+        return stats.aux_ratio >= self.max_ratio
+
+    def __repr__(self) -> str:
+        return (f"AuxRatioPolicy(max_ratio={self.max_ratio}, "
+                f"min_rows={self.min_rows})")
+
+
+class NeverPolicy(MaintenancePolicy):
+    """Accumulate modifications forever; retrains are explicit only."""
+
+    name = "never"
+
+    def should_retrain(self, stats: ShardStats) -> bool:
+        return False
+
+
+def make_policy(
+    name: str,
+    threshold_bytes: Optional[int] = None,
+    aux_ratio: float = 0.5,
+    min_rows: int = 64,
+) -> MaintenancePolicy:
+    """Build a policy by registry name (see :data:`POLICY_NAMES`)."""
+    if name == BytesThresholdPolicy.name:
+        return BytesThresholdPolicy(threshold_bytes)
+    if name == AuxRatioPolicy.name:
+        return AuxRatioPolicy(aux_ratio, min_rows=min_rows)
+    if name == NeverPolicy.name:
+        return NeverPolicy()
+    raise ValueError(f"unknown maintenance policy {name!r}; "
+                     f"expected one of {POLICY_NAMES}")
+
+
+@dataclass
+class LifecycleConfig:
+    """Knobs of the maintenance engine (policy + rebalancing + sizing).
+
+    All fields are JSON-serializable scalars so the config round-trips
+    through the store manifest (:meth:`to_state` / :meth:`from_state`).
+    """
+
+    #: Retrain policy name: ``"bytes"``, ``"aux-ratio"`` or ``"never"``.
+    policy: str = "bytes"
+    #: Byte threshold for the ``bytes`` policy; ``None`` falls back to the
+    #: build config's ``retrain_threshold_bytes``.
+    retrain_bytes: Optional[int] = None
+    #: Aux-table share triggering the ``aux-ratio`` policy.
+    aux_ratio: float = 0.5
+    #: Rows below which the aux-ratio policy stays quiet.
+    policy_min_rows: int = 64
+
+    #: Enable range split/merge rebalancing (range routers only).
+    rebalance: bool = False
+    #: Split a shard once its rows exceed this multiple of the mean.
+    split_balance: float = 2.0
+    #: Never split a shard below ``2 * split_min_rows`` rows (each half
+    #: must be worth its own model).
+    split_min_rows: int = 128
+    #: Merge an adjacent pair once their combined rows drop under this
+    #: multiple of the mean (hysteresis: keep well below split_balance).
+    merge_balance: float = 0.5
+    #: Hard bounds on the shard count reachable through rebalancing.
+    max_shards: int = 64
+    min_shards: int = 1
+    #: Cap on split/merge actions per maintenance run (a run happens per
+    #: mutation batch; the cap bounds mutation-latency spikes).
+    max_actions_per_run: int = 4
+
+    #: Right-size each lifecycle (re)build's architecture to the shard's
+    #: row count instead of reusing the global fixed spec.
+    per_shard_mhas: bool = False
+    #: Rows at parity with the base architecture: shards below scale
+    #: their widths down by ``sqrt(rows / reference_rows)``.
+    sizing_reference_rows: int = 4096
+    #: Narrowest hidden width the sizer will emit.
+    sizing_min_width: int = 8
+    #: Shards at or above this row count run a budget-scaled MHAS search;
+    #: smaller shards take the closed-form spec (search costs more than
+    #: it saves on tiny tables).
+    sizing_search_rows: int = 100_000
+
+    def __post_init__(self):
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; "
+                             f"expected one of {POLICY_NAMES}")
+        if self.split_balance <= 1.0:
+            raise ValueError("split_balance must be > 1.0")
+        if not 0 < self.merge_balance < self.split_balance:
+            raise ValueError(
+                "merge_balance must be in (0, split_balance) for hysteresis"
+            )
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if self.split_min_rows < 1:
+            raise ValueError("split_min_rows must be positive")
+        if self.max_actions_per_run < 1:
+            raise ValueError("max_actions_per_run must be positive")
+        if self.sizing_reference_rows < 1 or self.sizing_min_width < 1:
+            raise ValueError("sizing parameters must be positive")
+
+    def build_policy(
+        self, default_threshold_bytes: Optional[int] = None
+    ) -> MaintenancePolicy:
+        """Instantiate the configured retrain policy."""
+        threshold = (self.retrain_bytes if self.retrain_bytes is not None
+                     else default_threshold_bytes)
+        return make_policy(self.policy, threshold_bytes=threshold,
+                           aux_ratio=self.aux_ratio,
+                           min_rows=self.policy_min_rows)
+
+    # ------------------------------------------------------------------
+    # Manifest round trip
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serializable state (inverse of :meth:`from_state`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LifecycleConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in state.items() if k in known})

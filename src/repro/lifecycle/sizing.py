@@ -1,0 +1,87 @@
+"""Per-shard architecture sizing: model cost should track the data.
+
+A sharded store built with one global fixed spec pays the same model
+footprint for a 50-row shard as for a 50k-row one — dreaMLearning's
+observation (and the ROADMAP's "per-shard MHAS" item) is that model cost
+should scale with the data it memorizes.  This module derives the build
+configuration for one shard from the shard's row count:
+
+- **closed form** (small shards): hidden widths scale with
+  ``sqrt(rows / reference_rows)``, rounded to multiples of 8 and clamped
+  to ``[min_width, base width]`` — no search, deterministic, free;
+- **budgeted search** (large shards): MHAS runs with an iteration/width
+  budget scaled to the row count through
+  :func:`repro.core.mhas.budgeted_config`.
+
+Both paths only ever *shrink* relative to the base spec, so a per-shard
+build's model bytes are bounded above by the fixed-spec build's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from ..core.config import DeepMappingConfig
+from .policy import LifecycleConfig
+
+__all__ = ["closed_form_sizes", "derive_build_config"]
+
+
+def _round_width(width: float, min_width: int) -> int:
+    """Round to a multiple of 8, floored at ``min_width``."""
+    return max(int(min_width), 8 * max(1, round(width / 8)))
+
+
+def closed_form_sizes(
+    base_sizes: Tuple[int, ...],
+    n_rows: int,
+    reference_rows: int,
+    min_width: int,
+) -> Tuple[int, ...]:
+    """Scale a layer-width tuple to ``sqrt(n_rows / reference_rows)``.
+
+    The exponent follows the memorization-capacity heuristic: a one-hidden-
+    layer network's parameter count grows linearly in its width, and the
+    rows it can memorize grow roughly linearly in its parameters, so width
+    ``∝ sqrt`` keeps *capacity per row* roughly flat while never exceeding
+    the base spec (scale is clamped to 1).
+    """
+    scale = min(1.0, (max(n_rows, 1) / max(reference_rows, 1)) ** 0.5)
+    return tuple(
+        min(int(w), _round_width(w * scale, min_width)) for w in base_sizes
+    )
+
+
+def derive_build_config(
+    base: DeepMappingConfig,
+    n_rows: int,
+    lifecycle: LifecycleConfig,
+) -> DeepMappingConfig:
+    """Build configuration for one shard of ``n_rows`` rows.
+
+    Shards under ``lifecycle.sizing_search_rows`` skip MHAS entirely and
+    take the closed-form spec; larger shards run a budget-scaled search
+    whose width menu is capped at the base spec's widest layer (per-shard
+    sizing never upsizes past the fixed spec).
+    """
+    if n_rows >= lifecycle.sizing_search_rows:
+        from ..core.mhas import MHASConfig, budgeted_config
+
+        search_base = base.search if base.search is not None else MHASConfig()
+        widths = tuple(base.shared_sizes) + tuple(base.private_sizes)
+        search = budgeted_config(
+            n_rows,
+            base=search_base,
+            reference_rows=lifecycle.sizing_reference_rows,
+            max_width=max(widths) if widths else None,
+        )
+        return replace(base, use_search=True, search=search)
+    shared = closed_form_sizes(
+        tuple(base.shared_sizes), n_rows,
+        lifecycle.sizing_reference_rows, lifecycle.sizing_min_width)
+    private = closed_form_sizes(
+        tuple(base.private_sizes), n_rows,
+        lifecycle.sizing_reference_rows, lifecycle.sizing_min_width)
+    return replace(base, use_search=False, search=None,
+                   shared_sizes=shared, private_sizes=private)

@@ -13,7 +13,12 @@ scales the structure out horizontally:
   that fans batched lookups out to the owning shards (optionally on a
   thread pool) and merges the results back into input order;
 - :mod:`repro.shard.manifest` — the on-disk manifest describing a saved
-  sharded store (router state, per-shard files, schema).
+  sharded store (router state, per-shard files, schema, lifecycle
+  metadata).
+
+The write-side lifecycle — retrain policies, range split/merge
+rebalancing, per-shard model sizing — lives in :mod:`repro.lifecycle`;
+a store opts in by passing ``ShardingConfig(lifecycle=...)``.
 
 Range sharding additionally *shrinks* each shard's key domain, so per-shard
 key encodings need fewer one-hot digits and the per-key inference cost drops

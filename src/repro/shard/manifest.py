@@ -64,6 +64,11 @@ class ShardManifest:
     shards: List[ShardEntry] = field(default_factory=list)
     #: Sharding knobs worth preserving across save/load (max_workers etc.).
     sharding: Dict[str, object] = field(default_factory=dict)
+    #: Lifecycle metadata: ``config`` (a ``LifecycleConfig.to_state()``
+    #: dict) and ``counters`` (lifetime rebuild/split/merge totals from
+    #: the maintenance engine).  Empty for unmanaged stores; absent in
+    #: manifests written before the lifecycle subsystem existed.
+    lifecycle: Dict[str, object] = field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -79,6 +84,7 @@ class ShardManifest:
             "value_dtypes": dict(self.value_dtypes),
             "shards": [entry.to_json() for entry in self.shards],
             "sharding": dict(self.sharding),
+            "lifecycle": dict(self.lifecycle),
         }
 
     @classmethod
@@ -96,15 +102,30 @@ class ShardManifest:
             value_dtypes=dict(obj["value_dtypes"]),
             shards=[ShardEntry.from_json(e) for e in obj["shards"]],
             sharding=dict(obj.get("sharding", {})),
+            lifecycle=dict(obj.get("lifecycle", {})),
         )
 
     # ------------------------------------------------------------------
     def save(self, directory: str) -> int:
-        """Write ``manifest.json`` under ``directory``; returns bytes."""
+        """Write ``manifest.json`` under ``directory``; returns bytes.
+
+        The write is atomic (temp file + ``os.replace``): the manifest is
+        the store's root pointer, and a crash mid-write must leave either
+        the old manifest or the new one, never a torn file.  Note the
+        scope: this protects the *manifest*; re-saving a store in place
+        rewrites shard payload files first, so a crash between payload
+        writes and the manifest swap can leave the old manifest pointing
+        at newer payloads.  Save to a fresh directory when a fully
+        atomic store swap is required.
+        """
         payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
         path = os.path.join(directory, MANIFEST_NAME)
-        with open(path, "w") as handle:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
             handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
         return len(payload) + 1
 
     @classmethod

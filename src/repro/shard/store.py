@@ -23,7 +23,12 @@ Batched lookups are executed in three vectorized stages:
 
 Modifications route the same way: each row is applied to the owning
 shard's auxiliary table, and an insert that targets an empty shard
-materializes a fresh shard over those rows.
+materializes a fresh shard over those rows.  When the sharding config
+carries a :class:`~repro.lifecycle.LifecycleConfig`, every mutation batch
+ends with a :class:`~repro.lifecycle.MaintenanceEngine` pass — policy-
+driven retrains on the fan-out pool, plus range shard split/merge
+rebalancing with per-shard MHAS sizing (``split_shard`` /
+``merge_shards`` hold the mechanics; the engine holds the policy).
 
 Persistence reuses the storage substrate: every shard's auxiliary table
 runs through :class:`~repro.storage.partition.SortedPartitionStore` with a
@@ -50,11 +55,12 @@ from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
                                  RowsLike, SizeReport, normalize_keys,
                                  normalize_rows)
 from ..data.table import ColumnTable
+from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
 from ..storage.buffer_pool import BufferPool
 from ..storage.disk import DiskStore
 from ..storage.stats import StoreStats
 from .manifest import CONFIG_NAME, ShardEntry, ShardManifest
-from .router import ShardRouter, make_router, router_from_state
+from .router import RangeShardRouter, ShardRouter, make_router, router_from_state
 
 __all__ = ["ShardedDeepMapping", "ShardingConfig"]
 
@@ -74,12 +80,23 @@ class ShardingConfig:
     #: Shared buffer-pool budget for all shards' aux partitions
     #: (``None`` = unbounded).
     pool_budget_bytes: Optional[int] = None
+    #: Write-side maintenance: retrain policy, split/merge rebalancing,
+    #: per-shard MHAS sizing (see :mod:`repro.lifecycle`).  ``None`` keeps
+    #: the store unmanaged — shards retrain inline on their own
+    #: thresholds, exactly the pre-lifecycle behavior.
+    lifecycle: Optional[LifecycleConfig] = None
 
     def __post_init__(self):
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if self.strategy not in ("range", "hash"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if (self.lifecycle is not None and self.lifecycle.rebalance
+                and self.strategy != "range"):
+            raise ValueError(
+                "split/merge rebalancing requires the 'range' strategy "
+                "(hash placement has no contiguous ranges to cut)"
+            )
 
     def effective_workers(self) -> int:
         """Resolved thread-pool width."""
@@ -120,8 +137,11 @@ class ShardedDeepMapping:
             raise ValueError(
                 f"router expects {router.n_shards} shards, got {len(shards)}"
             )
-        self.router = router
-        self.shards = list(shards)
+        #: Router and shard list live in ONE tuple so lifecycle actions
+        #: (split/merge) can swap both with a single atomic attribute
+        #: store; readers snapshot the pair once per operation.
+        self._topology: Tuple[ShardRouter, List[Optional[DeepMapping]]] = (
+            router, list(shards))
         self.config = config
         self.sharding = sharding
         self.stats = stats if stats is not None else StoreStats()
@@ -130,6 +150,14 @@ class ShardedDeepMapping:
         self._value_dtypes = dict(value_dtypes)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        #: Monotonic source of aux-partition prefixes: splits and merges
+        #: materialize shards at shifting ordinals, so prefixes are issued
+        #: from a counter instead of being derived from the ordinal.
+        self._prefix_seq = router.n_shards
+        #: Maintenance engine (None = unmanaged store).
+        self.engine: Optional[MaintenanceEngine] = None
+        if sharding.lifecycle is not None:
+            self.engine = MaintenanceEngine(self, sharding.lifecycle)
 
     # ------------------------------------------------------------------
     # Build
@@ -165,14 +193,20 @@ class ShardedDeepMapping:
         value_dtypes = {name: table.column(name).dtype
                         for name in value_names}
 
+        lifecycle = sharding.lifecycle
+
         def build_one(ordinal: int) -> Optional[DeepMapping]:
             rows = np.flatnonzero(shard_ids == ordinal)
             if rows.size == 0:
                 return None
+            shard_config = config
+            if lifecycle is not None and lifecycle.per_shard_mhas:
+                shard_config = derive_build_config(config, int(rows.size),
+                                                   lifecycle)
             # Shards share the store's stats sink so pool/io/inference
             # buckets aggregate; increments race benignly under threads.
             return DeepMapping.fit(
-                table.take(rows), config, pool=pool, stats=stats,
+                table.take(rows), shard_config, pool=pool, stats=stats,
                 aux_name_prefix=_aux_prefix(ordinal),
             )
 
@@ -193,6 +227,28 @@ class ShardedDeepMapping:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def router(self) -> ShardRouter:
+        """The live key→shard router (swapped atomically with the shards)."""
+        return self._topology[0]
+
+    @property
+    def shards(self) -> List[Optional[DeepMapping]]:
+        """The live shard list (swapped atomically with the router)."""
+        return self._topology[1]
+
+    def _swap_topology(self, router: ShardRouter,
+                       shards: List[Optional[DeepMapping]]) -> None:
+        """Install a new (router, shards) pair in one atomic store."""
+        if len(shards) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} shards, got {len(shards)}"
+            )
+        self._topology = (router, list(shards))
+        # Keep the recorded knob in step so save/load round-trips the
+        # post-rebalance shard count.
+        self.sharding.n_shards = router.n_shards
+
     @property
     def n_shards(self) -> int:
         """Number of shards (including empty ones)."""
@@ -260,32 +316,39 @@ class ShardedDeepMapping:
         """Batched exact-match lookup across shards, input order preserved."""
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
+        # One topology snapshot for the whole batch: route, fan-out and
+        # merge all see the same (router, shards) pair, so a lifecycle
+        # swap between the route and index steps can never mispair cuts
+        # with ordinals.  This does NOT license concurrent mutation —
+        # the single-writer contract stands (a retired shard's dropped
+        # aux storage is not safe to read through).
+        router, shards = self._topology
         if n == 0:
             return LookupResult(
                 found=np.zeros(0, dtype=bool),
                 values={c: self._placeholder(c, 0) for c in self.value_names},
             )
-        if self.n_shards == 1 and self.shards[0] is not None:
+        if router.n_shards == 1 and shards[0] is not None:
             # Single shard: no routing or merging to do.
-            return self.shards[0].lookup(key_cols)
+            return shards[0].lookup(key_cols)
 
         with self.stats.timing("route"):
-            shard_ids = self.router.route(key_cols)
+            shard_ids = router.route(key_cols)
             order = np.argsort(shard_ids, kind="stable")
             grouped = {name: np.asarray(arr)[order]
                        for name, arr in key_cols.items()}
             bounds = np.searchsorted(shard_ids[order],
-                                     np.arange(self.n_shards + 1))
+                                     np.arange(router.n_shards + 1))
 
         jobs: List[Tuple[int, int, int]] = []  # (ordinal, start, stop)
-        for ordinal in range(self.n_shards):
+        for ordinal in range(router.n_shards):
             start, stop = int(bounds[ordinal]), int(bounds[ordinal + 1])
             if stop > start:
                 jobs.append((ordinal, start, stop))
 
         def run_job(job: Tuple[int, int, int]) -> LookupResult:
             ordinal, start, stop = job
-            shard = self.shards[ordinal]
+            shard = shards[ordinal]
             count = stop - start
             if shard is None:
                 return LookupResult(
@@ -377,13 +440,16 @@ class ShardedDeepMapping:
             if shard is None:
                 fresh = DeepMapping.fit(
                     ColumnTable(subset, key=self.key_names, name="shard"),
-                    self.config, pool=self.pool, stats=self.stats,
-                    aux_name_prefix=_aux_prefix(ordinal),
+                    self._build_config(int(rows_idx.size)),
+                    pool=self.pool, stats=self.stats,
+                    aux_name_prefix=self._new_aux_prefix(),
                 )
+                self._register_shard(fresh)
                 self.shards[ordinal] = fresh
                 landed += len(fresh.aux)
             else:
                 landed += shard.insert(subset)
+        self._maintain()
         return landed
 
     def delete(self, keys: KeysLike) -> int:
@@ -396,6 +462,7 @@ class ShardedDeepMapping:
                 continue
             deleted += shard.delete({name: arr[rows_idx]
                                      for name, arr in key_cols.items()})
+        self._maintain()
         return deleted
 
     def update(self, rows: RowsLike) -> int:
@@ -422,6 +489,7 @@ class ShardedDeepMapping:
         for ordinal, rows_idx in groups:
             landed += self.shards[ordinal].update(
                 {name: arr[rows_idx] for name, arr in columns.items()})
+        self._maintain()
         return landed
 
     def _require_unique_batch_keys(self, columns: Dict[str, np.ndarray]) -> None:
@@ -446,6 +514,176 @@ class ShardedDeepMapping:
             shard_ids = self.router.route(key_cols)
         for ordinal in np.unique(shard_ids):
             yield int(ordinal), np.flatnonzero(shard_ids == ordinal)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: maintenance plumbing and split/merge mechanics
+    # ------------------------------------------------------------------
+    def _maintain(self) -> None:
+        """One engine pass after a mutation batch (no-op when unmanaged)."""
+        if self.engine is not None:
+            self.engine.run_pending()
+
+    def _register_shard(self, shard: Optional[DeepMapping]) -> None:
+        """Hand a newly materialized shard to the engine (if any)."""
+        if self.engine is not None:
+            self.engine.adopt(shard)
+
+    def _build_config(self, n_rows: int) -> DeepMappingConfig:
+        """Config for materializing a shard of ``n_rows`` rows."""
+        lifecycle = self.sharding.lifecycle
+        if lifecycle is not None and lifecycle.per_shard_mhas:
+            return derive_build_config(self.config, n_rows, lifecycle)
+        return self.config
+
+    def _new_aux_prefix(self) -> str:
+        """A store-unique aux-partition prefix for a new shard."""
+        prefix = _aux_prefix(self._prefix_seq)
+        self._prefix_seq += 1
+        return prefix
+
+    def _shard_leading_keys(self, shard: DeepMapping) -> np.ndarray:
+        """Live leading-key values of one shard (no value inference)."""
+        flat = shard.exist.existing_keys()
+        key_cols = shard.key_codec.unflatten(flat)
+        return np.asarray(key_cols[self.key_names[0]], dtype=np.int64)
+
+    def _require_range_router(self) -> RangeShardRouter:
+        router = self.router
+        if not isinstance(router, RangeShardRouter):
+            raise TypeError(
+                "shard split/merge requires a range router; this store "
+                f"routes by {router.kind!r}"
+            )
+        return router
+
+    def can_split(self, ordinal: int) -> bool:
+        """True when shard ``ordinal`` has at least two distinct leading
+        keys (the minimum to place a cut with both sides non-empty)."""
+        if not isinstance(self.router, RangeShardRouter):
+            return False
+        shard = self.shards[ordinal]
+        if shard is None:
+            return False
+        leading = self._shard_leading_keys(shard)
+        return np.unique(leading).size >= 2
+
+    def split_shard(
+        self,
+        ordinal: int,
+        cut: Optional[int] = None,
+        configs: Optional[Tuple[Optional[DeepMappingConfig],
+                                Optional[DeepMappingConfig]]] = None,
+    ) -> int:
+        """Split range shard ``ordinal`` into ``[lower, cut)`` / ``[cut,
+        upper)`` halves, rebuilding each as its own DeepMapping.
+
+        ``cut`` defaults to the shard's median live leading key; an
+        explicit cut must leave both halves non-empty.  ``configs``
+        optionally overrides the halves' build configurations (the
+        per-shard MHAS hook).  The halves build concurrently on the
+        fan-out pool, then the router (with the new cut) and the shard
+        list swap in atomically; the retired shard's aux partitions are
+        dropped.  Runs under the store's single-writer mutation contract.
+        Returns the cut used.
+        """
+        router = self._require_range_router()
+        shard = self.shards[ordinal]
+        if shard is None:
+            raise ValueError(f"shard {ordinal} is empty; nothing to split")
+        table = shard.to_table()
+        leading = np.asarray(table.column(self.key_names[0]), dtype=np.int64)
+        uniq = np.unique(leading)
+        if uniq.size < 2:
+            raise ValueError(
+                f"shard {ordinal} holds {uniq.size} distinct leading "
+                "key(s); a split needs at least two"
+            )
+        if cut is None:
+            cut = int(np.sort(leading)[leading.size // 2])
+            if cut <= int(uniq[0]):
+                cut = int(uniq[1])  # left half (keys < cut) must be non-empty
+        else:
+            cut = int(cut)
+            if not int(uniq[0]) < cut <= int(uniq[-1]):
+                raise ValueError(
+                    f"cut {cut} leaves an empty half: live leading keys "
+                    f"span [{int(uniq[0])}, {int(uniq[-1])}]"
+                )
+
+        left_rows = np.flatnonzero(leading < cut)
+        right_rows = np.flatnonzero(leading >= cut)
+        cfg_left, cfg_right = configs if configs is not None else (None, None)
+        builds = [
+            (table.take(left_rows),
+             cfg_left if cfg_left is not None
+             else self._build_config(int(left_rows.size)),
+             self._new_aux_prefix()),
+            (table.take(right_rows),
+             cfg_right if cfg_right is not None
+             else self._build_config(int(right_rows.size)),
+             self._new_aux_prefix()),
+        ]
+
+        def build_half(job) -> DeepMapping:
+            part, cfg, prefix = job
+            return DeepMapping.fit(part, cfg, pool=self.pool,
+                                   stats=self.stats, aux_name_prefix=prefix)
+
+        left, right = self._map_jobs(build_half, builds)
+        self._register_shard(left)
+        self._register_shard(right)
+
+        new_router = router.split_at(ordinal, cut)
+        new_shards = (self.shards[:ordinal] + [left, right]
+                      + self.shards[ordinal + 1:])
+        self._swap_topology(new_router, new_shards)
+        shard.aux.drop_storage()
+        return cut
+
+    def merge_shards(
+        self,
+        ordinal: int,
+        config: Optional[DeepMappingConfig] = None,
+    ) -> None:
+        """Merge range shards ``ordinal`` and ``ordinal + 1`` into one.
+
+        The pair's live rows rebuild as a single DeepMapping (``config``
+        optionally overrides its build configuration); merging two empty
+        shards just removes the boundary.  The router (minus the boundary
+        cut) and the shard list swap in atomically; both retired shards'
+        aux partitions are dropped.  Runs under the store's single-writer
+        mutation contract.
+        """
+        router = self._require_range_router()
+        if not 0 <= ordinal < router.n_shards - 1:
+            raise ValueError(
+                f"cannot merge shard {ordinal} with its right neighbour "
+                f"in a {router.n_shards}-shard store"
+            )
+        first = self.shards[ordinal]
+        second = self.shards[ordinal + 1]
+        tables = [s.to_table() for s in (first, second)
+                  if s is not None and len(s)]
+        merged: Optional[DeepMapping] = None
+        if tables:
+            combined = tables[0] if len(tables) == 1 else tables[0].concat(
+                tables[1])
+            merged = DeepMapping.fit(
+                combined,
+                config if config is not None
+                else self._build_config(combined.n_rows),
+                pool=self.pool, stats=self.stats,
+                aux_name_prefix=self._new_aux_prefix(),
+            )
+            self._register_shard(merged)
+
+        new_router = router.merge_at(ordinal)
+        new_shards = (self.shards[:ordinal] + [merged]
+                      + self.shards[ordinal + 2:])
+        self._swap_topology(new_router, new_shards)
+        for retired in (first, second):
+            if retired is not None:
+                retired.aux.drop_storage()
 
     # ------------------------------------------------------------------
     # Materialization
@@ -494,6 +732,12 @@ class ShardedDeepMapping:
                                       protocol=pickle.HIGHEST_PROTOCOL)
         total += disk.write(CONFIG_NAME, config_payload)
 
+        lifecycle: Dict[str, object] = {}
+        if self.sharding.lifecycle is not None:
+            lifecycle["config"] = self.sharding.lifecycle.to_state()
+        if self.engine is not None:
+            lifecycle["counters"] = self.engine.summary()
+
         manifest = ShardManifest(
             router=self.router.to_state(),
             key_names=list(self.key_names),
@@ -507,6 +751,7 @@ class ShardedDeepMapping:
                 "max_workers": self.sharding.max_workers,
                 "pool_budget_bytes": self.sharding.pool_budget_bytes,
             },
+            lifecycle=lifecycle,
         )
         total += manifest.save(path)
         return total
@@ -532,6 +777,7 @@ class ShardedDeepMapping:
             config: DeepMappingConfig = pickle.loads(handle.read())
 
         saved = manifest.sharding
+        lifecycle_state = manifest.lifecycle.get("config")
         sharding = ShardingConfig(
             n_shards=manifest.n_shards,
             strategy=saved.get("strategy", router.kind),
@@ -539,6 +785,8 @@ class ShardedDeepMapping:
                          else saved.get("max_workers")),
             pool_budget_bytes=(pool_budget_bytes if pool_budget_bytes is not None
                                else saved.get("pool_budget_bytes")),
+            lifecycle=(LifecycleConfig.from_state(lifecycle_state)
+                       if lifecycle_state else None),
         )
         stats = stats if stats is not None else StoreStats()
         pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,
@@ -557,6 +805,8 @@ class ShardedDeepMapping:
         store = cls(router, shards, config, sharding,
                     value_names=tuple(manifest.value_names),
                     value_dtypes=value_dtypes, stats=stats, pool=pool)
+        if store.engine is not None and "counters" in manifest.lifecycle:
+            store.engine.restore_counters(manifest.lifecycle["counters"])
         store.compile_engines()
         return store
 

@@ -237,3 +237,96 @@ class TestRetrainTrigger:
         table, dm = fresh_mapping(n=400)
         dm.insert(synthetic.insert_batch(table, 30, "high"))
         assert dm.tracker.total_retrains == 0
+
+
+class TestTrackerPersistence:
+    def test_state_round_trip(self):
+        tracker = ModificationTracker(threshold_bytes=500)
+        tracker.record(120, n_ops=3)
+        tracker.mark_rebuilt()
+        tracker.record(77, n_ops=2)
+        restored = ModificationTracker.from_state(tracker.to_state())
+        assert restored.threshold_bytes == 500
+        assert restored.bytes_since_build == 77
+        assert restored.ops_since_build == 2
+        assert restored.total_retrains == 1
+
+    def test_counters_survive_save_load(self, tmp_path):
+        """Sec. IV-D: the retrain threshold must not silently restart
+        after every process restart."""
+        table, dm = fresh_mapping(n=400, retrain_threshold_bytes=10**9)
+        dm.insert(synthetic.insert_batch(table, 40, "high"))
+        assert dm.tracker.bytes_since_build > 0
+        path = str(tmp_path / "store.dm")
+        dm.save(path)
+
+        loaded = DeepMapping.load(path)
+        assert loaded.tracker.bytes_since_build == dm.tracker.bytes_since_build
+        assert loaded.tracker.ops_since_build == dm.tracker.ops_since_build
+        assert loaded.tracker.total_retrains == dm.tracker.total_retrains
+        # Threshold comes from the config, counters from the payload.
+        assert loaded.tracker.threshold_bytes == 10**9
+
+    def test_accumulation_crosses_a_restart(self, tmp_path):
+        """Modifications before and after a save/load both count toward
+        one threshold."""
+        table, dm = fresh_mapping(n=400, retrain_threshold_bytes=10**9)
+        dm.insert(synthetic.insert_batch(table, 20, "high"))
+        before = dm.tracker.bytes_since_build
+        path = str(tmp_path / "store.dm")
+        dm.save(path)
+        loaded = DeepMapping.load(path)
+        grown = loaded.to_table()
+        loaded.insert(synthetic.insert_batch(grown, 20, "high"))
+        assert loaded.tracker.bytes_since_build > before
+
+    def test_domain_rebuild_preserves_tracker_history(self):
+        """An out-of-domain insert rebuilds the structure wholesale; the
+        modification history must survive the swap."""
+        table, dm = fresh_mapping(n=300, headroom=1.0,
+                                  retrain_threshold_bytes=10**9)
+        dm.insert(synthetic.insert_batch(table, 10, "high"))
+        tracker = dm.tracker
+        far_key = int(table.column("key").max()) * 10 + 3
+        dm.insert({
+            "key": np.array([far_key], dtype=np.int64),
+            **{c: np.array([table.column(c)[0]])
+               for c in dm.value_names},
+        })
+        assert dm.tracker is tracker  # same logical history object
+        assert dm.tracker.total_retrains == 1
+
+
+class TestAuxRatioRetrain:
+    def test_aux_ratio_triggers_rebuild(self):
+        """With retrain_aux_ratio set, a flood of mispredicted rows
+        (low-correlation inserts) forces a retrain."""
+        table, dm = fresh_mapping(n=400, correlation="low", headroom=1.0,
+                                  retrain_aux_ratio=0.05, epochs=40)
+        batch = synthetic.insert_batch(table, 200, "low")
+        dm.insert(batch)
+        assert dm.tracker.total_retrains >= 1
+        assert dm.lookup({"key": batch.column("key")}).found.all()
+
+    def test_tiny_store_never_ratio_thrashes(self):
+        """Below the row floor, the ratio trigger stays quiet even when
+        the aux table dominates — a tiny noise table would otherwise
+        rebuild on every batch."""
+        table, dm = fresh_mapping(n=40, correlation="low", headroom=2.0,
+                                  retrain_aux_ratio=0.01, epochs=3)
+        dm.insert(synthetic.insert_batch(table, 5, "low"))
+        assert dm.tracker.total_retrains == 0
+
+    def test_auto_rebuild_flag_suppresses_inline_retrain(self):
+        table, dm = fresh_mapping(n=300, retrain_threshold_bytes=1)
+        dm.auto_rebuild = False
+        dm.insert(synthetic.insert_batch(table, 20, "high"))
+        assert dm.tracker.total_retrains == 0
+        assert dm.tracker.bytes_since_build > 0  # still records
+
+    def test_config_validation(self):
+        from repro.core import DeepMappingConfig
+        with pytest.raises(ValueError):
+            DeepMappingConfig(retrain_aux_ratio=0.0)
+        with pytest.raises(ValueError):
+            DeepMappingConfig(retrain_aux_ratio=1.5)

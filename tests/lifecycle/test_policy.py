@@ -1,0 +1,98 @@
+"""Tests for maintenance policies and the lifecycle config."""
+
+import pytest
+
+from repro.lifecycle import (AuxRatioPolicy, BytesThresholdPolicy,
+                             LifecycleConfig, NeverPolicy, POLICY_NAMES,
+                             ShardStats, make_policy)
+
+
+def stats(n_rows=1000, aux_rows=0, bytes_since=0, ops=0, ordinal=0):
+    return ShardStats(ordinal=ordinal, n_rows=n_rows, aux_rows=aux_rows,
+                      bytes_since_build=bytes_since, ops_since_build=ops)
+
+
+class TestPolicies:
+    def test_bytes_threshold(self):
+        policy = BytesThresholdPolicy(100)
+        assert not policy.should_retrain(stats(bytes_since=99))
+        assert policy.should_retrain(stats(bytes_since=100))
+
+    def test_bytes_threshold_none_never_fires(self):
+        policy = BytesThresholdPolicy(None)
+        assert not policy.should_retrain(stats(bytes_since=10**12))
+
+    def test_bytes_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BytesThresholdPolicy(0)
+
+    def test_aux_ratio(self):
+        policy = AuxRatioPolicy(0.5)
+        assert not policy.should_retrain(stats(n_rows=1000, aux_rows=499))
+        assert policy.should_retrain(stats(n_rows=1000, aux_rows=500))
+
+    def test_aux_ratio_min_rows_guard(self):
+        """A freshly materialized micro-shard (all rows in aux) must not
+        thrash through retrains."""
+        policy = AuxRatioPolicy(0.5, min_rows=64)
+        assert not policy.should_retrain(stats(n_rows=10, aux_rows=10))
+        assert policy.should_retrain(stats(n_rows=64, aux_rows=64))
+
+    def test_aux_ratio_validation(self):
+        with pytest.raises(ValueError):
+            AuxRatioPolicy(0.0)
+        with pytest.raises(ValueError):
+            AuxRatioPolicy(1.5)
+
+    def test_never(self):
+        assert not NeverPolicy().should_retrain(
+            stats(bytes_since=10**12, aux_rows=1000, n_rows=1000))
+
+    def test_empty_shard_ratio_is_zero(self):
+        assert stats(n_rows=0, aux_rows=0).aux_ratio == 0.0
+
+    def test_make_policy_registry(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, threshold_bytes=10)
+            assert policy.name == name
+        with pytest.raises(ValueError):
+            make_policy("sometimes")
+
+
+class TestLifecycleConfig:
+    def test_defaults_valid(self):
+        config = LifecycleConfig()
+        assert config.policy == "bytes"
+        assert not config.rebalance
+
+    def test_state_round_trip(self):
+        config = LifecycleConfig(policy="aux-ratio", aux_ratio=0.3,
+                                 rebalance=True, split_balance=3.0,
+                                 per_shard_mhas=True, max_shards=16)
+        restored = LifecycleConfig.from_state(config.to_state())
+        assert restored == config
+
+    def test_from_state_ignores_unknown_keys(self):
+        """Manifests written by a newer version must still load."""
+        state = LifecycleConfig().to_state()
+        state["future_knob"] = 42
+        assert LifecycleConfig.from_state(state) == LifecycleConfig()
+
+    def test_build_policy_falls_back_to_config_threshold(self):
+        policy = LifecycleConfig(policy="bytes").build_policy(12345)
+        assert policy.threshold_bytes == 12345
+        policy = LifecycleConfig(policy="bytes",
+                                 retrain_bytes=99).build_policy(12345)
+        assert policy.threshold_bytes == 99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LifecycleConfig(policy="sometimes")
+        with pytest.raises(ValueError):
+            LifecycleConfig(split_balance=1.0)
+        with pytest.raises(ValueError):
+            LifecycleConfig(merge_balance=2.5, split_balance=2.0)
+        with pytest.raises(ValueError):
+            LifecycleConfig(min_shards=8, max_shards=4)
+        with pytest.raises(ValueError):
+            LifecycleConfig(max_actions_per_run=0)

@@ -1,0 +1,103 @@
+"""Tests for per-shard architecture sizing."""
+
+import numpy as np
+
+from repro.core import DeepMapping, DeepMappingConfig
+from repro.core.mhas import MHASConfig, budgeted_config
+from repro.data import synthetic
+from repro.lifecycle import (LifecycleConfig, closed_form_sizes,
+                             derive_build_config)
+
+from ..core.conftest import fast_config
+
+
+class TestClosedForm:
+    def test_small_shards_shrink(self):
+        sizes = closed_form_sizes((64,), n_rows=256, reference_rows=4096,
+                                  min_width=8)
+        assert sizes == (16,)  # sqrt(256/4096) = 1/4 of 64
+
+    def test_at_reference_keeps_base(self):
+        assert closed_form_sizes((64, 32), 4096, 4096, 8) == (64, 32)
+
+    def test_never_upsizes_past_base(self):
+        assert closed_form_sizes((64,), 10**6, 4096, 8) == (64,)
+
+    def test_min_width_floor(self):
+        assert closed_form_sizes((64,), 2, 4096, 8) == (8,)
+
+    def test_monotone_in_rows(self):
+        widths = [closed_form_sizes((128,), n, 4096, 8)[0]
+                  for n in (16, 64, 256, 1024, 4096)]
+        assert widths == sorted(widths)
+
+
+class TestDeriveBuildConfig:
+    def test_closed_form_below_search_threshold(self):
+        base = DeepMappingConfig(shared_sizes=(64,), private_sizes=(32,))
+        lifecycle = LifecycleConfig(per_shard_mhas=True,
+                                    sizing_search_rows=100_000)
+        derived = derive_build_config(base, 250, lifecycle)
+        assert not derived.use_search
+        assert derived.shared_sizes < base.shared_sizes
+        assert derived.private_sizes < base.private_sizes
+        # The base config must never be mutated.
+        assert base.shared_sizes == (64,)
+
+    def test_search_at_threshold(self):
+        base = DeepMappingConfig(shared_sizes=(64,), private_sizes=(32,))
+        lifecycle = LifecycleConfig(per_shard_mhas=True,
+                                    sizing_search_rows=500)
+        derived = derive_build_config(base, 500, lifecycle)
+        assert derived.use_search
+        assert derived.search is not None
+        # The width menu is capped at the base spec's widest layer.
+        assert max(derived.search.size_choices) <= 64
+
+    def test_smaller_shard_builds_smaller_model(self):
+        """The acceptance property at unit scale: the sized build's model
+        footprint is strictly under the fixed-spec build's."""
+        table = synthetic.multi_column(300, "low", seed=5)
+        base = fast_config(epochs=3, shared_sizes=(64,), private_sizes=(32,))
+        sized_config = derive_build_config(
+            base, table.n_rows, LifecycleConfig(per_shard_mhas=True))
+        fixed = DeepMapping.fit(table, base)
+        sized = DeepMapping.fit(table, sized_config)
+        assert sized.session.nbytes < fixed.session.nbytes
+        # ... and it is still lossless.
+        result = sized.lookup({"key": table.column("key")})
+        assert result.found.all()
+        for column in sized.value_names:
+            np.testing.assert_array_equal(result.values[column],
+                                          table.column(column))
+
+
+class TestBudgetedSearchConfig:
+    def test_iterations_scale_down(self):
+        base = MHASConfig(iterations=40, controller_every=5)
+        small = budgeted_config(256, base=base, reference_rows=4096)
+        assert small.iterations < base.iterations
+        # Floor: the controller still gets at least two REINFORCE rounds.
+        assert small.iterations >= 2 * base.controller_every
+
+    def test_full_budget_at_reference(self):
+        base = MHASConfig(iterations=40)
+        assert budgeted_config(4096, base=base,
+                               reference_rows=4096).iterations == 40
+
+    def test_width_menu_pruned(self):
+        base = MHASConfig(size_choices=(32, 64, 128, 256))
+        pruned = budgeted_config(1000, base=base, max_width=64)
+        assert pruned.size_choices == (32, 64)
+
+    def test_width_menu_never_empty_and_never_exceeds_bound(self):
+        """When every base choice is wider than the bound, the bound
+        itself becomes the menu — searched architectures must never
+        upsize past the caller's fixed spec."""
+        base = MHASConfig(size_choices=(32, 64))
+        pruned = budgeted_config(1000, base=base, max_width=4)
+        assert pruned.size_choices == (4,)
+
+    def test_eval_sample_capped_by_rows(self):
+        base = MHASConfig(eval_sample=4096)
+        assert budgeted_config(300, base=base).eval_sample == 300

@@ -57,3 +57,41 @@ class TestBenchRejectsShards:
         with pytest.raises(SystemExit, match="bench_sharding"):
             main(["bench", "--dataset", "synthetic:single-low",
                   "--scale", "0.03", "--shards", "2"])
+
+
+class TestLifecycleFlags:
+    def test_build_with_lifecycle_knobs(self, tmp_path, capsys):
+        argv, out = build_sharded(
+            tmp_path, extra=["--rebalance", "--per-shard-mhas"])
+        assert main(argv) == 0
+        stdout = capsys.readouterr().out
+        assert "lifecycle: policy=never rebalance=True" in stdout
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        assert "lifecycle:" in capsys.readouterr().out
+
+    def test_retrain_bytes_implies_bytes_policy(self, tmp_path, capsys):
+        argv, out = build_sharded(
+            tmp_path, extra=["--retrain-bytes", "1000000"])
+        assert main(argv) == 0
+        assert "lifecycle: policy=bytes" in capsys.readouterr().out
+
+    def test_bytes_policy_without_threshold_is_rejected(self, tmp_path):
+        """BytesThresholdPolicy(None) never fires; requesting it
+        explicitly without a threshold must error, not silently degrade
+        to 'never'."""
+        argv, _ = build_sharded(tmp_path,
+                                extra=["--retrain-policy", "bytes"])
+        with pytest.raises(SystemExit, match="retrain-bytes"):
+            main(argv)
+
+    def test_lifecycle_needs_multiple_shards(self, tmp_path):
+        argv, _ = build_sharded(tmp_path, shards=1, extra=["--rebalance"])
+        with pytest.raises(SystemExit, match="shards"):
+            main(argv)
+
+    def test_rebalance_needs_range_strategy(self, tmp_path):
+        argv, _ = build_sharded(
+            tmp_path, extra=["--shard-strategy", "hash", "--rebalance"])
+        with pytest.raises(SystemExit, match="range"):
+            main(argv)
