@@ -29,10 +29,11 @@ import time
 
 import numpy as np
 
+import repro
 from repro.bench import format_table
-from repro.core import DeepMapping, DeepMappingConfig
+from repro.core import DeepMappingConfig
 from repro.data import synthetic
-from repro.shard import ShardedDeepMapping, ShardingConfig
+from repro.shard import ShardingConfig
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -84,9 +85,10 @@ def run_lookup_benchmark(rows: int = 120_000, batch: int = 100_000,
     config = bench_config(smoke)
 
     stores = [
-        ("monolithic", 1, DeepMapping.fit(table, config)),
-        ("sharded4", 4, ShardedDeepMapping.fit(
-            table, config, ShardingConfig(n_shards=4, strategy="range"))),
+        ("monolithic", 1, repro.build(table, config)),
+        ("sharded4", 4, repro.build(
+            table, config,
+            sharding=ShardingConfig(n_shards=4, strategy="range"))),
     ]
 
     # (store, hit_ratio, path) -> best seconds.  Passes are interleaved so

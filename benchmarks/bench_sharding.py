@@ -24,10 +24,11 @@ import time
 
 import numpy as np
 
+import repro
 from repro.bench import format_table
-from repro.core import DeepMapping, DeepMappingConfig
+from repro.core import DeepMappingConfig
 from repro.data import synthetic
-from repro.shard import ShardedDeepMapping, ShardingConfig
+from repro.shard import ShardingConfig
 
 from conftest import write_report
 
@@ -57,14 +58,14 @@ def run_sharding_benchmark():
 
     stores = []
     start = time.perf_counter()
-    mono = DeepMapping.fit(table, config)
+    mono = repro.build(table, config)
     stores.append(("DeepMapping (monolithic)", None, mono,
                    time.perf_counter() - start))
     for n_shards in SHARD_COUNTS:
         start = time.perf_counter()
-        store = ShardedDeepMapping.fit(
-            table, config, ShardingConfig(n_shards=n_shards,
-                                          strategy="range"))
+        store = repro.build(
+            table, config,
+            sharding=ShardingConfig(n_shards=n_shards, strategy="range"))
         stores.append((f"sharded x{n_shards}", n_shards, store,
                        time.perf_counter() - start))
 

@@ -10,7 +10,8 @@ Run:  python examples/architecture_search.py
 
 import numpy as np
 
-from repro import DeepMapping, DeepMappingConfig
+import repro
+from repro import DeepMappingConfig
 from repro.bench import running_average
 from repro.core.mhas import MHASConfig
 from repro.data import tpcds
@@ -35,7 +36,7 @@ def main() -> None:
         epochs=100,
         batch_size=1024,
     )
-    dm = DeepMapping.fit(table, config)
+    dm = repro.build(table, config)
     outcome = dm.search_history
 
     print(f"search explored {len(outcome.history)} candidate architectures "

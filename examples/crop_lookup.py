@@ -12,7 +12,8 @@ Run:  python examples/crop_lookup.py
 
 import numpy as np
 
-from repro import DeepMapping, DeepMappingConfig, lookup_range
+import repro
+from repro import DeepMappingConfig, lookup_range
 from repro.baselines import make_baseline
 from repro.data import crop
 
@@ -25,7 +26,7 @@ def main() -> None:
 
     config = DeepMappingConfig(epochs=150, batch_size=1024,
                                shared_sizes=(128,), private_sizes=(64,))
-    dm = DeepMapping.fit(raster, config)
+    dm = repro.build(raster, config)
     report = dm.size_report()
     abc = make_baseline("ABC-L").build(raster)
     print(f"DeepMapping: {report.total_bytes // 1024} KB "

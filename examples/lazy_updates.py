@@ -14,7 +14,8 @@ Run:  python examples/lazy_updates.py
 
 import numpy as np
 
-from repro import DeepMapping, DeepMappingConfig
+import repro
+from repro import DeepMappingConfig
 from repro.data import synthetic
 
 
@@ -32,7 +33,7 @@ def main() -> None:
         retrain_threshold_bytes=threshold,
         warm_start_rebuild=True,
     )
-    dm = DeepMapping.fit(base, config)
+    dm = repro.build(base, config)
     print(f"base: {base.n_rows} rows "
           f"({base.uncompressed_bytes() // 1024} KB raw); retrain threshold "
           f"= {threshold // 1024} KB of modifications\n")

@@ -1,8 +1,12 @@
-"""Quickstart: compress a table into a DeepMapping and query it.
+"""Quickstart: compress a table into a store with `repro.build`, reopen
+it anywhere with `repro.open`.
 
 Builds the hybrid structure over a scaled TPC-H ``orders`` table, runs
-point lookups (hits and misses), inspects the storage breakdown, and
-round-trips the structure through a file.
+point lookups (hits and misses), inspects the storage breakdown, then
+round-trips the store through three persistence backends — a plain file,
+a single zip archive (the object-store stand-in), and an in-memory
+container — and finishes with an async batched lookup against a sharded
+build.
 
 Run:  python examples/quickstart.py
 """
@@ -12,19 +16,18 @@ import tempfile
 
 import numpy as np
 
-from repro import DeepMapping, DeepMappingConfig
-from repro.data import tpch
+import repro
 
 
 def main() -> None:
     # 1. Get a table.  Any ColumnTable with discrete key/value columns works.
-    orders = tpch.generate("orders", scale=0.2, seed=42)
+    orders = repro.data.tpch.generate("orders", scale=0.2, seed=42)
     print(f"dataset: {orders.name}, {orders.n_rows} rows, "
           f"{orders.uncompressed_bytes() // 1024} KB uncompressed")
 
-    # 2. Fit the hybrid structure (model + aux table + V_exist + f_decode).
-    config = DeepMappingConfig(epochs=150, batch_size=256)
-    dm = DeepMapping.fit(orders, config)
+    # 2. Build the store (model + aux table + V_exist + f_decode).
+    config = repro.DeepMappingConfig(epochs=150, batch_size=256)
+    dm = repro.build(orders, config)
 
     report = dm.size_report()
     print(f"hybrid size: {report.total_bytes // 1024} KB "
@@ -46,13 +49,28 @@ def main() -> None:
     )
     print(f"batch of 1000: all found={result.found.all()}, lossless={exact}")
 
-    # 5. Persistence.
-    path = os.path.join(tempfile.mkdtemp(), "orders.dm")
-    print(f"saved {dm.save(path)} bytes to {path}")
-    clone = DeepMapping.load(path)
-    assert clone.lookup_one(o_orderkey=first_key) == dm.lookup_one(
-        o_orderkey=first_key)
-    print("reloaded structure answers identically")
+    # 5. Persistence: one URL per backend, same bits back from each.
+    workdir = tempfile.mkdtemp()
+    targets = [
+        os.path.join(workdir, "orders.dm"),          # plain file
+        f"zip://{workdir}/orders.zip",               # single-archive store
+        "mem://quickstart-orders",                    # in-process scratch
+    ]
+    expected = dm.lookup_one(o_orderkey=first_key)
+    for target in targets:
+        nbytes = dm.save(target)
+        with repro.open(target) as clone:
+            assert clone.lookup_one(o_orderkey=first_key) == expected
+        print(f"round-tripped {nbytes} bytes through {target}")
+
+    # 6. Sharded build + async lookup through the same facade.
+    with repro.build(orders, config, shards=4,
+                     url=f"zip://{workdir}/orders-sharded.zip") as sharded:
+        future = sharded.lookup_async(batch)
+        async_result = future.result()
+        assert np.array_equal(async_result.found, result.found)
+        print(f"sharded x{sharded.n_shards}: async batch matches "
+              f"synchronous lookup ({int(async_result.found.sum())} hits)")
 
 
 if __name__ == "__main__":

@@ -3,35 +3,54 @@ and efficient lookup (Zhou, Candan, Zou — ICDE 2024).
 
 Public API highlights
 ---------------------
+- :func:`repro.open` / :func:`repro.build` — THE way in: build a store
+  over a table and reopen it later by URL (``file://``, ``mem://``,
+  ``zip://``) or bare path, monolithic vs sharded auto-detected.
+- :class:`repro.store.DataStore` — the protocol every store satisfies
+  (lookup / lookup_async / insert / delete / update / rebuild / save /
+  size_report / close, context-managed).
 - :class:`repro.DeepMapping` / :class:`repro.DeepMappingConfig` — the
   hybrid learned structure (model + auxiliary table + existence bit vector
   + decode map) and its build knobs.
 - :class:`repro.ShardedDeepMapping` / :class:`repro.ShardingConfig` — the
   horizontally sharded store: N independent DeepMapping shards behind one
-  facade, with vectorized routing and parallel batched lookups.
+  facade, fan-out on a pluggable executor strategy.
 - :class:`repro.LifecycleConfig` / :mod:`repro.lifecycle` — write-side
   maintenance: pluggable retrain policies, range shard split/merge
   rebalancing, per-shard MHAS model sizing.
+- :mod:`repro.storage` — storage substrate, including the pluggable
+  :class:`~repro.storage.StorageBackend` persistence layer.
 - :mod:`repro.core.mhas` — multi-task hybrid architecture search.
 - :mod:`repro.baselines` — AB/ABC-*, HB/HBC-*, DeepSqueeze comparators.
 - :mod:`repro.data` — TPC-H / TPC-DS / synthetic / crop dataset generators.
 - :mod:`repro.bench` — workload generation and latency/size measurement.
-- :mod:`repro.nn` / :mod:`repro.storage` — the numpy neural-network and
-  storage substrates everything is built on.
 
 Quickstart
 ----------
->>> from repro import DeepMapping, DeepMappingConfig
->>> from repro.data import tpch
->>> orders = tpch.generate("orders", scale=0.1)
->>> dm = DeepMapping.fit(orders, DeepMappingConfig(epochs=40))
->>> dm.lookup_one(o_orderkey=1)["o_orderstatus"]   # doctest: +SKIP
-'F'
+Build a store over any :class:`~repro.data.ColumnTable`, persist it to a
+URL, and reopen it — losslessness holds whatever the model learned:
+
+>>> import numpy as np
+>>> import repro
+>>> table = repro.ColumnTable(
+...     {"sku": np.arange(64, dtype=np.int64),
+...      "price": (np.arange(64, dtype=np.int64) * 7) % 13},
+...     key=("sku",))
+>>> store = repro.build(table, repro.DeepMappingConfig(epochs=2, seed=0),
+...                     url="mem://quickstart")
+>>> int(store.lookup_one(sku=3)["price"])
+8
+>>> store.lookup_one(sku=999) is None
+True
+>>> with repro.open("mem://quickstart") as clone:
+...     int(clone.lookup_one(sku=3)["price"])
+8
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import baselines, bench, core, data, lifecycle, nn, shard, storage
+from . import (baselines, bench, core, data, lifecycle, nn, shard, storage,
+               store)
 from .core import (
     DeepMapping,
     DeepMappingConfig,
@@ -45,9 +64,17 @@ from .core import (
 from .data import ColumnTable
 from .lifecycle import LifecycleConfig, MaintenanceEngine
 from .shard import ShardedDeepMapping, ShardingConfig
+from .store import DataStore, build_store, open_store
+from .store import build_store as build
+from .store import open_store as open
 
 __all__ = [
     "__version__",
+    "open",
+    "build",
+    "open_store",
+    "build_store",
+    "DataStore",
     "DeepMapping",
     "DeepMappingConfig",
     "LookupResult",
@@ -69,4 +96,5 @@ __all__ = [
     "nn",
     "shard",
     "storage",
+    "store",
 ]

@@ -8,22 +8,27 @@ Subcommands:
 - ``bench``  — quick size/latency comparison against baselines
 
 ``build --shards N`` fits a sharded store instead of a monolithic one; the
-output path is then a directory (manifest + one payload per shard), and
+output target is then a container (manifest + one payload per shard), and
 ``info`` / ``query`` detect it automatically.
+
+Store targets are URLs — ``file://`` (the default for bare paths),
+``mem://`` (process-local scratch), ``zip://`` (single-archive store) —
+resolved through :func:`repro.open`; passing a bare path still works but
+is the deprecated pre-URL dispatch.
 
 Examples::
 
     python -m repro build --dataset tpch:orders --scale 0.2 --out orders.dm
     python -m repro build --dataset tpch:orders --shards 4 --out orders.dms
+    python -m repro build --dataset tpch:orders --out zip://orders.zip
     python -m repro info orders.dm
-    python -m repro query orders.dms --key o_orderkey=1 --key o_orderkey=3
+    python -m repro query zip://orders.zip --key o_orderkey=1
     python -m repro bench --dataset synthetic:multi-high --systems DM-Z,ABC-Z
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Dict, List, Optional, Union
 
@@ -33,7 +38,8 @@ from .bench import format_storage_latency_table, run_comparison
 from .core import DeepMapping, DeepMappingConfig
 from .data import ColumnTable, crop, synthetic, tpcds, tpch
 from .lifecycle import LifecycleConfig, POLICY_NAMES
-from .shard import ShardedDeepMapping, ShardingConfig, is_sharded_store
+from .shard import ShardedDeepMapping, ShardingConfig
+from .store import EXECUTOR_NAMES, build_store, open_store, warn_once
 
 __all__ = ["main", "load_dataset"]
 
@@ -83,13 +89,22 @@ def _config_from_args(args: argparse.Namespace) -> DeepMappingConfig:
 
 
 def _load_structure(path: str) -> Union[DeepMapping, ShardedDeepMapping]:
-    """Open a saved structure, monolithic or sharded, by inspecting ``path``."""
-    if is_sharded_store(path):
-        return ShardedDeepMapping.load(path)
-    if os.path.isdir(path):
-        raise SystemExit(f"{path!r} is a directory without a sharded-store "
-                         "manifest; expected a .dm file or a store directory")
-    return DeepMapping.load(path)
+    """Open a saved structure, monolithic or sharded, via :func:`repro.open`.
+
+    Bare paths (no ``scheme://``) are the deprecated pre-URL dispatch:
+    they keep working identically but announce the URL form once.
+    """
+    if "://" not in path:
+        warn_once(
+            "cli-path-dispatch",
+            "bare store paths on the CLI are deprecated; address stores by "
+            "URL instead (file:// for local paths, mem://, zip://)",
+        )
+    try:
+        return open_store(path)
+    except (FileNotFoundError, ValueError) as exc:
+        # Both carry the accepted-scheme list in their message.
+        raise SystemExit(str(exc)) from None
 
 
 def _lifecycle_from_args(args: argparse.Namespace) -> Optional[LifecycleConfig]:
@@ -133,11 +148,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"building DeepMapping over {table.name}: {table.n_rows} rows, "
           f"{table.uncompressed_bytes() // 1024} KB raw")
     if args.shards > 1:
-        dm = ShardedDeepMapping.fit(
+        dm = build_store(
             table, _config_from_args(args),
-            ShardingConfig(n_shards=args.shards,
-                           strategy=args.shard_strategy,
-                           lifecycle=lifecycle))
+            sharding=ShardingConfig(n_shards=args.shards,
+                                    strategy=args.shard_strategy,
+                                    executor=args.executor,
+                                    lifecycle=lifecycle))
         print(f"sharded {args.shard_strategy} x{args.shards}: "
               f"rows/shard {dm.shard_row_counts()}")
         if dm.engine is not None:
@@ -146,7 +162,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
                   f"rebalance={summary['rebalance']} "
                   f"per-shard-mhas={summary['per_shard_mhas']}")
     else:
-        dm = DeepMapping.fit(table, _config_from_args(args))
+        dm = build_store(table, _config_from_args(args))
     report = dm.size_report()
     print(f"hybrid: {report.total_bytes // 1024} KB "
           f"(ratio {report.compression_ratio:.3f}); "
@@ -261,6 +277,10 @@ def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard-strategy", default="range",
                         choices=["range", "hash"],
                         help="shard placement policy (with --shards > 1)")
+    parser.add_argument("--executor", default=None,
+                        choices=list(EXECUTOR_NAMES),
+                        help="fan-out executor strategy (with --shards > 1; "
+                             "default: thread pool)")
     parser.add_argument("--rebalance", action="store_true",
                         help="enable range shard split/merge rebalancing "
                              "under inserts (with --shards > 1)")
@@ -283,16 +303,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--dataset", required=True,
                          help="family:name, e.g. tpch:orders")
     p_build.add_argument("--scale", type=float, default=0.2)
-    p_build.add_argument("--out", required=True)
+    p_build.add_argument("--out", required=True,
+                         help="output target: a path or file:// / mem:// / "
+                              "zip:// URL (a container when --shards > 1)")
     _add_build_options(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_info = sub.add_parser("info", help="size report of a saved structure")
-    p_info.add_argument("path")
+    p_info.add_argument("path", help="store path or file:// / zip:// URL")
     p_info.set_defaults(func=_cmd_info)
 
     p_query = sub.add_parser("query", help="point lookups")
-    p_query.add_argument("path")
+    p_query.add_argument("path", help="store path or file:// / zip:// URL")
     p_query.add_argument("--key", action="append", default=[],
                          help="column=value; repeat per key column and row")
     p_query.set_defaults(func=_cmd_query)

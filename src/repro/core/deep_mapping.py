@@ -19,6 +19,7 @@ fraction of the raw data's footprint when key-value structure exists.
 from __future__ import annotations
 
 import pickle
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -31,9 +32,13 @@ from ..nn.inference import InferenceSession
 from ..nn.multitask import ArchitectureSpec, MultiTaskMLP
 from ..nn.optimizers import Adam, ExponentialDecay
 from ..nn.training import Trainer
+from ..storage.backends import resolve_blob_url
 from ..storage.buffer_pool import BufferPool
 from ..storage.disk import DiskStore
 from ..storage.stats import StoreStats
+from ..store.deprecation import warn_once
+from ..store.executors import (ExecutorStrategy, SerialStrategy,
+                               make_executor)
 from .aux_table import AuxiliaryTable
 from .config import DeepMappingConfig
 from .exist_index import ExistenceIndex, load_existence, make_existence_index
@@ -195,6 +200,13 @@ class DeepMapping:
         self._dataset_bytes = int(dataset_bytes)
         #: Lazily compiled fused lookup kernel (see :meth:`compiled_session`).
         self._compiled: Optional[CompiledSession] = None
+        #: Executor strategy behind :meth:`lookup_async` (serial unless
+        #: :meth:`set_executor` installs another one).  ``close()`` only
+        #: shuts strategies this structure created itself — an instance
+        #: handed in by the caller (possibly shared between stores) stays
+        #: caller-owned.
+        self._executor: Optional[ExecutorStrategy] = None
+        self._owns_executor = True
         #: :class:`~repro.core.mhas.SearchOutcome` when MHAS built this
         #: structure (None for fixed architectures).
         self.search_history = None
@@ -509,6 +521,41 @@ class DeepMapping:
         return self.exist.test_batch(flat) & in_domain
 
     # ------------------------------------------------------------------
+    # Async reads / executor strategy
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> ExecutorStrategy:
+        """The strategy behind :meth:`lookup_async` (serial by default —
+        a monolithic structure has no internal fan-out to overlap)."""
+        if self._executor is None:
+            self._executor = SerialStrategy()
+        return self._executor
+
+    def set_executor(self, executor) -> None:
+        """Install an executor strategy (a name from
+        :data:`repro.store.EXECUTOR_NAMES` or a strategy instance).
+
+        A strategy built here from a name is owned (and closed) by this
+        structure; a passed-in instance stays caller-owned and is never
+        closed by :meth:`close`.
+        """
+        new = make_executor(executor)
+        if (self._executor is not None and self._owns_executor
+                and new is not self._executor):
+            self._executor.close()
+        self._executor = new
+        self._owns_executor = new is not executor
+
+    def lookup_async(self, keys: KeysLike) -> Future:
+        """Schedule :meth:`lookup` on the executor strategy.
+
+        Returns a future resolving to the same :class:`LookupResult` the
+        synchronous call would produce.  Under the serial strategy the
+        work happens inline and the future comes back already resolved.
+        """
+        return self.executor.submit(self.lookup, keys)
+
+    # ------------------------------------------------------------------
     # Modifications (paper Algorithms 3-5)
     # ------------------------------------------------------------------
     def insert(self, rows: RowsLike) -> int:
@@ -678,8 +725,8 @@ class DeepMapping:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str) -> int:
-        """Serialize the full hybrid structure to one file; returns bytes."""
+    def to_payload(self) -> bytes:
+        """Serialize the full hybrid structure to one byte payload."""
         aux_keys, aux_codes = self.aux.scan()
         state = {
             "config": self.config,
@@ -695,23 +742,31 @@ class DeepMapping:
             # would restart the retrain threshold from zero every reopen.
             "tracker": self.tracker.to_state(),
         }
-        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-        with open(path, "wb") as handle:
-            handle.write(payload)
-        return len(payload)
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def save(self, target: str) -> int:
+        """Persist to a path or ``file:// / mem:// / zip://`` URL.
+
+        A filesystem path / ``file://`` URL names the payload file itself;
+        ``mem://`` and ``zip://`` targets are containers and store the
+        payload under
+        :data:`~repro.storage.backends.MONOLITHIC_BLOB`.  The write is
+        atomic on every backend.  Returns bytes written.
+        """
+        backend, blob = resolve_blob_url(str(target))
+        return backend.write_bytes(blob, self.to_payload())
 
     @classmethod
-    def load(
+    def from_payload(
         cls,
-        path: str,
+        payload: bytes,
         disk: Optional[DiskStore] = None,
         pool: Optional[BufferPool] = None,
         stats: Optional[StoreStats] = None,
         aux_name_prefix: str = "aux",
     ) -> "DeepMapping":
-        """Inverse of :meth:`save`."""
-        with open(path, "rb") as handle:
-            state = pickle.loads(handle.read())
+        """Inverse of :meth:`to_payload`."""
+        state = pickle.loads(payload)
         config: DeepMappingConfig = state["config"]
         stats = stats if stats is not None else StoreStats()
         fdecode = DecodeMap.from_state(state["fdecode"])
@@ -742,6 +797,52 @@ class DeepMapping:
         if "tracker" in state:
             mapping.tracker.restore_counters(state["tracker"])
         return mapping
+
+    @classmethod
+    def open(
+        cls,
+        target: str,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+        aux_name_prefix: str = "aux",
+    ) -> "DeepMapping":
+        """Inverse of :meth:`save`: open a payload by path or URL.
+
+        Prefer :func:`repro.open`, which also auto-detects sharded
+        stores; this is the monolithic-only loader beneath it.
+        """
+        backend, blob = resolve_blob_url(str(target), create=False)
+        try:
+            payload = backend.read_bytes(blob)
+        except KeyError:
+            raise FileNotFoundError(f"no DeepMapping payload at "
+                                    f"{target!r}") from None
+        return cls.from_payload(payload, disk=disk, pool=pool, stats=stats,
+                                aux_name_prefix=aux_name_prefix)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+        aux_name_prefix: str = "aux",
+    ) -> "DeepMapping":
+        """Deprecated alias of :meth:`open` (kept for pre-facade callers).
+
+        Emits a ``DeprecationWarning`` once per process; behavior is
+        unchanged.  Use :func:`repro.open` (layout auto-detection, all
+        URL schemes) or :meth:`DeepMapping.open` instead.
+        """
+        warn_once(
+            "DeepMapping.load",
+            "DeepMapping.load() is deprecated; use repro.open(url_or_path) "
+            "or DeepMapping.open() instead",
+        )
+        return cls.open(path, disk=disk, pool=pool, stats=stats,
+                        aux_name_prefix=aux_name_prefix)
 
     # ------------------------------------------------------------------
     # Input normalization
@@ -777,6 +878,26 @@ class DeepMapping:
         # All rows (including the new ones) are now inside the structure;
         # signal the caller that no further per-row handling is needed.
         raise _DomainRebuilt()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the async executor's worker threads (idempotent).
+
+        The structure itself stays usable — ``close`` frees runtime
+        resources, it does not drop data.  The installed strategy is
+        kept (its pools rebuild lazily on next use); a caller-owned
+        strategy instance is left untouched.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "DeepMapping":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -26,7 +26,8 @@ key encodings need fewer one-hot digits and the per-key inference cost drops
 and ``docs/sharding.md``).
 """
 
-from .manifest import MANIFEST_NAME, ShardEntry, ShardManifest, is_sharded_store
+from .manifest import (MANIFEST_NAME, ShardEntry, ShardManifest,
+                       is_sharded_backend, is_sharded_store)
 from .router import (HashShardRouter, RangeShardRouter, ShardRouter,
                      make_router, router_from_state)
 from .store import ShardedDeepMapping, ShardingConfig
@@ -43,4 +44,5 @@ __all__ = [
     "ShardEntry",
     "MANIFEST_NAME",
     "is_sharded_store",
+    "is_sharded_backend",
 ]

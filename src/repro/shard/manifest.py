@@ -23,8 +23,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..storage.backends import LocalDirBackend, StorageBackend
+
 __all__ = ["MANIFEST_NAME", "CONFIG_NAME", "ShardEntry", "ShardManifest",
-           "is_sharded_store"]
+           "is_sharded_store", "is_sharded_backend"]
 
 MANIFEST_NAME = "manifest.json"
 CONFIG_NAME = "config.pkl"
@@ -106,37 +108,50 @@ class ShardManifest:
         )
 
     # ------------------------------------------------------------------
-    def save(self, directory: str) -> int:
-        """Write ``manifest.json`` under ``directory``; returns bytes.
+    def save_to(self, backend: StorageBackend) -> int:
+        """Write ``manifest.json`` into ``backend``; returns bytes.
 
-        The write is atomic (temp file + ``os.replace``): the manifest is
-        the store's root pointer, and a crash mid-write must leave either
-        the old manifest or the new one, never a torn file.  Note the
-        scope: this protects the *manifest*; re-saving a store in place
-        rewrites shard payload files first, so a crash between payload
-        writes and the manifest swap can leave the old manifest pointing
-        at newer payloads.  Save to a fresh directory when a fully
-        atomic store swap is required.
+        The write rides the backend's atomic-replace guarantee: the
+        manifest is the store's root pointer, and a crash mid-write must
+        leave either the old manifest or the new one, never a torn blob.
+        Note the scope: this protects the *manifest*; re-saving a store in
+        place rewrites shard payload blobs first, so a crash between
+        payload writes and the manifest swap can leave the old manifest
+        pointing at newer payloads.  Save to a fresh container when a
+        fully atomic store swap is required.
         """
-        payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
-        path = os.path.join(directory, MANIFEST_NAME)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            handle.write(payload + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-        return len(payload) + 1
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        return backend.write_bytes(MANIFEST_NAME, payload.encode("utf-8"))
+
+    def save(self, directory: str) -> int:
+        """Write ``manifest.json`` under local ``directory``; returns bytes."""
+        return self.save_to(LocalDirBackend(directory))
+
+    @classmethod
+    def load_from(cls, backend: StorageBackend) -> "ShardManifest":
+        """Read ``manifest.json`` from ``backend``."""
+        try:
+            payload = backend.read_bytes(MANIFEST_NAME)
+        except KeyError:
+            raise FileNotFoundError(
+                f"no {MANIFEST_NAME} in {getattr(backend, 'url', backend)!r}"
+            ) from None
+        return cls.from_json(json.loads(payload.decode("utf-8")))
 
     @classmethod
     def load(cls, directory: str) -> "ShardManifest":
-        """Read ``manifest.json`` from ``directory``."""
-        path = os.path.join(directory, MANIFEST_NAME)
-        with open(path) as handle:
-            return cls.from_json(json.load(handle))
+        """Read ``manifest.json`` from local ``directory``."""
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(f"no such store directory: {directory!r}")
+        return cls.load_from(LocalDirBackend(directory, create=False))
 
 
 def is_sharded_store(path: str) -> bool:
     """True when ``path`` is a directory holding a sharded-store manifest."""
     return (os.path.isdir(path)
             and os.path.isfile(os.path.join(path, MANIFEST_NAME)))
+
+
+def is_sharded_backend(backend: StorageBackend) -> bool:
+    """True when ``backend`` holds a sharded-store manifest blob."""
+    return backend.exists(MANIFEST_NAME)

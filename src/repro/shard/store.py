@@ -14,9 +14,11 @@ Batched lookups are executed in three vectorized stages:
 2. **fan out** — one stable argsort groups keys by shard; each owning
    shard runs its normal batched lookup — through its own compiled
    fused kernel (:class:`~repro.nn.compiled.CompiledSession`, built
-   eagerly at fit/load time) — either inline or on a shared
-   :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy kernels release
-   the GIL, so shards overlap on multi-core hosts);
+   eagerly at fit/load time) — on the store's pluggable
+   :class:`~repro.store.executors.ExecutorStrategy` (serial, thread
+   pool, or free-threading aware; NumPy kernels release the GIL, so
+   shards overlap on multi-core hosts).  :meth:`lookup_async` schedules
+   the whole batch on the same strategy and returns a future;
 3. **merge** — per-shard results are concatenated in group order and the
    inverse permutation restores the caller's input order; keys owned by an
    empty shard (or matching no row) are reported as per-key misses.
@@ -35,18 +37,20 @@ runs through :class:`~repro.storage.partition.SortedPartitionStore` with a
 per-shard blob prefix into one *shared*
 :class:`~repro.storage.buffer_pool.BufferPool`, so a single byte budget
 caps resident partitions across the whole store.  ``save()`` writes one
-``DeepMapping.save`` payload per non-empty shard plus a JSON manifest
-(:mod:`~repro.shard.manifest`).
+``DeepMapping`` payload per non-empty shard plus a JSON manifest
+(:mod:`~repro.shard.manifest`) into any
+:class:`~repro.storage.backends.StorageBackend` — a local directory,
+an in-memory container, or a zip archive, selected by URL scheme.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,9 +60,10 @@ from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
                                  normalize_rows)
 from ..data.table import ColumnTable
 from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
+from ..storage.backends import StorageBackend, backend_for_url
 from ..storage.buffer_pool import BufferPool
-from ..storage.disk import DiskStore
 from ..storage.stats import StoreStats
+from ..store.executors import ExecutorStrategy, make_executor
 from .manifest import CONFIG_NAME, ShardEntry, ShardManifest
 from .router import RangeShardRouter, ShardRouter, make_router, router_from_state
 
@@ -77,6 +82,13 @@ class ShardingConfig:
     #: Thread-pool width for fan-out; ``None`` means
     #: ``min(n_shards, cpu_count)``.  Effective width 1 runs inline.
     max_workers: Optional[int] = None
+    #: Executor strategy behind the fan-out and ``lookup_async`` — a name
+    #: from :data:`repro.store.EXECUTOR_NAMES` (``"serial"`` /
+    #: ``"threads"`` / ``"free-threads"``) or an
+    #: :class:`~repro.store.executors.ExecutorStrategy` instance.
+    #: ``None`` means a thread pool of :meth:`effective_workers` width —
+    #: exactly the pre-strategy behavior.
+    executor: Union[str, ExecutorStrategy, None] = None
     #: Shared buffer-pool budget for all shards' aux partitions
     #: (``None`` = unbounded).
     pool_budget_bytes: Optional[int] = None
@@ -132,6 +144,7 @@ class ShardedDeepMapping:
         value_dtypes: Dict[str, np.dtype],
         stats: Optional[StoreStats] = None,
         pool: Optional[BufferPool] = None,
+        executor: Optional[ExecutorStrategy] = None,
     ):
         if len(shards) != router.n_shards:
             raise ValueError(
@@ -148,8 +161,16 @@ class ShardedDeepMapping:
         self.pool = pool
         self._value_names = tuple(value_names)
         self._value_dtypes = dict(value_dtypes)
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._executor_lock = threading.Lock()
+        #: Executor strategy: shard fan-out goes through ``executor.map``,
+        #: ``lookup_async`` through ``executor.submit``.  A strategy the
+        #: store built itself (config named it, or None) is store-owned;
+        #: an instance supplied via ``ShardingConfig.executor`` stays
+        #: caller-owned and is never closed by :meth:`close`.
+        self.executor: ExecutorStrategy = (
+            executor if executor is not None
+            else make_executor(sharding.executor,
+                               sharding.effective_workers()))
+        self._owns_executor = self.executor is not sharding.executor
         #: Monotonic source of aux-partition prefixes: splits and merges
         #: materialize shards at shifting ordinals, so prefixes are issued
         #: from a counter instead of being derived from the ordinal.
@@ -210,19 +231,17 @@ class ShardedDeepMapping:
                 aux_name_prefix=_aux_prefix(ordinal),
             )
 
-        workers = sharding.effective_workers()
-        if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as executor:
-                shards = list(executor.map(build_one,
-                                           range(sharding.n_shards)))
-        else:
-            shards = [build_one(s) for s in range(sharding.n_shards)]
+        # The same strategy that will fan lookups out also fans the
+        # per-shard builds out (NumPy training kernels release the GIL).
+        executor = make_executor(sharding.executor,
+                                 sharding.effective_workers())
+        shards = executor.map(build_one, range(sharding.n_shards))
 
         # No compile_engines() here: DeepMapping.fit already leaves each
         # shard holding its freshly compiled engine.
         return cls(router, shards, config, sharding,
                    value_names=value_names, value_dtypes=value_dtypes,
-                   stats=stats, pool=pool)
+                   stats=stats, pool=pool, executor=executor)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -378,27 +397,105 @@ class ShardedDeepMapping:
             raise KeyError(f"expected key columns {self.key_names}")
         return next(self.lookup(key_cols).rows())
 
-    def _map_jobs(self, fn, jobs: List) -> List:
-        """Run shard jobs inline or on the shared thread pool."""
-        if len(jobs) <= 1 or self.sharding.effective_workers() <= 1:
-            return [fn(job) for job in jobs]
-        return list(self._get_executor().map(fn, jobs))
+    def contains_batch(self, keys: KeysLike) -> np.ndarray:
+        """Liveness test per key — routed to each owning shard's
+        existence vector, no value inference.  Keys owned by an empty
+        shard are absent by definition."""
+        key_cols = self._normalize_keys(keys)
+        n = int(np.asarray(key_cols[self.key_names[0]]).size)
+        router, shards = self._topology
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        with self.stats.timing("route"):
+            shard_ids = router.route(key_cols)
+            order = np.argsort(shard_ids, kind="stable")
+            grouped = {name: np.asarray(arr)[order]
+                       for name, arr in key_cols.items()}
+            bounds = np.searchsorted(shard_ids[order],
+                                     np.arange(router.n_shards + 1))
+        exists_sorted = np.zeros(n, dtype=bool)
+        for ordinal in range(router.n_shards):
+            start, stop = int(bounds[ordinal]), int(bounds[ordinal + 1])
+            shard = shards[ordinal]
+            if stop == start or shard is None:
+                continue
+            segment = {name: arr[start:stop] for name, arr in grouped.items()}
+            exists_sorted[start:stop] = shard.contains_batch(segment)
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.arange(n)
+        return exists_sorted[inverse]
 
-    def _get_executor(self) -> ThreadPoolExecutor:
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.sharding.effective_workers(),
-                    thread_name_prefix="shard-lookup",
-                )
-            return self._executor
+    def aux_ratio(self) -> float:
+        """Fraction of live rows currently served from auxiliary tables,
+        aggregated across shards (empty store: 0.0)."""
+        n_rows = len(self)
+        if n_rows == 0:
+            return 0.0
+        in_aux = sum(len(shard.aux) for shard in self.shards
+                     if shard is not None)
+        return in_aux / n_rows
+
+    def rebuild(self, config: Optional[DeepMappingConfig] = None) -> None:
+        """Retrain every live shard from its current logical content.
+
+        ``config`` optionally replaces each shard's build configuration;
+        when omitted, a lifecycle store with per-shard MHAS re-derives a
+        size-appropriate config per shard and an unmanaged store keeps
+        each shard's own.  Shards rebuild concurrently on the executor
+        strategy.  Runs under the store's single-writer mutation
+        contract (a rebuild swaps shard internals non-atomically).
+        """
+        lifecycle = self.sharding.lifecycle
+        per_shard_sizing = (config is None and lifecycle is not None
+                            and lifecycle.per_shard_mhas)
+
+        def rebuild_one(shard: DeepMapping) -> None:
+            shard_config = config
+            if per_shard_sizing:
+                shard_config = derive_build_config(self.config, len(shard),
+                                                   lifecycle)
+            shard.rebuild(shard_config)
+
+        live = [shard for shard in self.shards if shard is not None]
+        self._map_jobs(rebuild_one, live)
+
+    def lookup_async(self, keys: KeysLike) -> Future:
+        """Schedule :meth:`lookup` on the executor strategy.
+
+        Returns a future resolving to the same :class:`LookupResult` the
+        synchronous call would produce; the coordinating job runs off the
+        fan-out workers, so awaiting it never deadlocks the shard pool.
+        Under the serial strategy the work happens inline and the future
+        comes back already resolved.
+        """
+        return self.executor.submit(self.lookup, keys)
+
+    def set_executor(self, executor) -> None:
+        """Swap the executor strategy (a name from
+        :data:`repro.store.EXECUTOR_NAMES` or a strategy instance).
+
+        The outgoing strategy is closed only if this store owned it; a
+        passed-in instance stays caller-owned and is never closed here
+        or by :meth:`close`.
+        """
+        new = make_executor(executor, self.sharding.effective_workers())
+        if new is not self.executor and self._owns_executor:
+            self.executor.close()
+        self.executor = new
+        self._owns_executor = new is not executor
+
+    def _map_jobs(self, fn, jobs: List) -> List:
+        """Run shard jobs through the executor strategy (job order kept)."""
+        return self.executor.map(fn, jobs)
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
-        with self._executor_lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+        """Shut down the executor strategy's workers (idempotent).
+
+        The store stays usable — an owned strategy rebuilds its pools
+        lazily on next use; a caller-owned strategy is left untouched.
+        """
+        if self._owns_executor:
+            self.executor.close()
 
     def __enter__(self) -> "ShardedDeepMapping":
         return self
@@ -708,29 +805,42 @@ class ShardedDeepMapping:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str) -> int:
-        """Write manifest + per-shard payloads under directory ``path``.
+    def save(self, target: Union[str, StorageBackend]) -> int:
+        """Write manifest + per-shard payloads into a store container.
 
+        ``target`` is a directory path, a ``file:// / mem:// / zip://``
+        URL, or a :class:`~repro.storage.backends.StorageBackend`
+        instance — payload location is fully decoupled from routing.
         Returns total bytes written.  Empty shards are recorded in the
-        manifest with no payload file.
+        manifest with no payload blob; payload blobs from a previous save
+        that this store no longer references are deleted so a re-save in
+        place cannot leave stale shards behind.
         """
-        os.makedirs(path, exist_ok=True)
-        disk = DiskStore(directory=path, stats=self.stats)
+        backend = (backend_for_url(target) if isinstance(target, str)
+                   else target)
+        # Backends that buffer whole-container rewrites (zip) batch the
+        # save into one atomic replace instead of one rewrite per blob.
+        batch = getattr(backend, "batch", None)
+        with (batch() if batch is not None else nullcontext()):
+            return self._save_into(backend)
+
+    def _save_into(self, backend: StorageBackend) -> int:
         total = 0
         entries: List[ShardEntry] = []
-        for ordinal, shard in enumerate(self.shards):
-            if shard is None:
-                entries.append(ShardEntry(file=None))
-                continue
-            fname = f"shard-{ordinal:04d}.dm"
-            nbytes = shard.save(disk.path(fname))
-            entries.append(ShardEntry(file=fname, n_rows=len(shard),
-                                      n_bytes=nbytes))
-            total += nbytes
+        with self.stats.timing("io"):
+            for ordinal, shard in enumerate(self.shards):
+                if shard is None:
+                    entries.append(ShardEntry(file=None))
+                    continue
+                fname = f"shard-{ordinal:04d}.dm"
+                nbytes = backend.write_bytes(fname, shard.to_payload())
+                entries.append(ShardEntry(file=fname, n_rows=len(shard),
+                                          n_bytes=nbytes))
+                total += nbytes
 
-        config_payload = pickle.dumps(self.config,
-                                      protocol=pickle.HIGHEST_PROTOCOL)
-        total += disk.write(CONFIG_NAME, config_payload)
+            config_payload = pickle.dumps(self.config,
+                                          protocol=pickle.HIGHEST_PROTOCOL)
+            total += backend.write_bytes(CONFIG_NAME, config_payload)
 
         lifecycle: Dict[str, object] = {}
         if self.sharding.lifecycle is not None:
@@ -750,31 +860,45 @@ class ShardedDeepMapping:
                 "n_shards": self.sharding.n_shards,
                 "max_workers": self.sharding.max_workers,
                 "pool_budget_bytes": self.sharding.pool_budget_bytes,
+                "executor": getattr(self.sharding.executor, "name",
+                                    self.sharding.executor),
             },
             lifecycle=lifecycle,
         )
-        total += manifest.save(path)
+        total += manifest.save_to(backend)
+
+        # A shrunk store (merges, fewer shards) must not leave orphaned
+        # payload blobs for a later loader to trip over.
+        referenced = {entry.file for entry in entries if entry.file}
+        for name in backend.list():
+            if (name.startswith("shard-") and name.endswith(".dm")
+                    and name not in referenced):
+                backend.delete(name)
         return total
 
     @classmethod
     def load(
         cls,
-        path: str,
+        target: Union[str, StorageBackend],
         stats: Optional[StoreStats] = None,
         max_workers: Optional[int] = None,
         pool_budget_bytes: Optional[int] = None,
+        executor: Union[str, ExecutorStrategy, None] = None,
     ) -> "ShardedDeepMapping":
-        """Inverse of :meth:`save`.
+        """Inverse of :meth:`save`; ``target`` as there.
 
-        ``max_workers`` / ``pool_budget_bytes`` override the saved knobs
-        (e.g. load a store built on a big box onto a small one).  All
-        shards' auxiliary partitions share one
+        ``max_workers`` / ``pool_budget_bytes`` / ``executor`` override
+        the saved knobs (e.g. load a store built on a big box onto a
+        small one, or force serial fan-out).  All shards' auxiliary
+        partitions share one
         :class:`~repro.storage.buffer_pool.BufferPool` under the budget.
         """
-        manifest = ShardManifest.load(path)
+        backend = (backend_for_url(target, create=False)
+                   if isinstance(target, str) else target)
+        manifest = ShardManifest.load_from(backend)
         router = router_from_state(manifest.router)
-        with open(os.path.join(path, CONFIG_NAME), "rb") as handle:
-            config: DeepMappingConfig = pickle.loads(handle.read())
+        config: DeepMappingConfig = pickle.loads(
+            backend.read_bytes(CONFIG_NAME))
 
         saved = manifest.sharding
         lifecycle_state = manifest.lifecycle.get("config")
@@ -785,6 +909,8 @@ class ShardedDeepMapping:
                          else saved.get("max_workers")),
             pool_budget_bytes=(pool_budget_bytes if pool_budget_bytes is not None
                                else saved.get("pool_budget_bytes")),
+            executor=(executor if executor is not None
+                      else saved.get("executor")),
             lifecycle=(LifecycleConfig.from_state(lifecycle_state)
                        if lifecycle_state else None),
         )
@@ -796,8 +922,10 @@ class ShardedDeepMapping:
             if entry.file is None:
                 shards.append(None)
                 continue
-            shards.append(DeepMapping.load(
-                os.path.join(path, entry.file), pool=pool, stats=stats,
+            with stats.timing("io"):
+                payload = backend.read_bytes(entry.file)
+            shards.append(DeepMapping.from_payload(
+                payload, pool=pool, stats=stats,
                 aux_name_prefix=_aux_prefix(ordinal),
             ))
         value_dtypes = {name: np.dtype(spec)

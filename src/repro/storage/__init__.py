@@ -1,9 +1,12 @@
-"""Storage substrate: bit vectors, codecs, partitions, buffer pool, disk.
+"""Storage substrate: backends, bit vectors, codecs, partitions, pool, disk.
 
 These are the building blocks under both the DeepMapping hybrid structure
 and every baseline in the paper's evaluation.
 """
 
+from .backends import (MONOLITHIC_BLOB, URL_SCHEMES, InMemoryBackend,
+                       LocalDirBackend, StorageBackend, ZipBackend,
+                       backend_for_url, parse_url, resolve_blob_url)
 from .bitvector import BitVector
 from .buffer_pool import BufferPool, MemoryBudgetError
 from .codecs import (
@@ -29,6 +32,15 @@ from .serializer import (
 from .stats import Stopwatch, StoreStats
 
 __all__ = [
+    "StorageBackend",
+    "LocalDirBackend",
+    "InMemoryBackend",
+    "ZipBackend",
+    "backend_for_url",
+    "resolve_blob_url",
+    "parse_url",
+    "URL_SCHEMES",
+    "MONOLITHIC_BLOB",
     "BitVector",
     "BufferPool",
     "MemoryBudgetError",

@@ -1,10 +1,15 @@
 """On-disk partition storage.
 
-Partitions (compressed byte blobs) live in a directory, one file each.  The
-paper's small-machine experiments hinge on the cost of bringing partitions
-from disk back into a constrained memory pool; :class:`DiskStore` charges
-that I/O against a :class:`~repro.storage.stats.StoreStats` timer so the
-benchmark harness can report it (Figure 7's "data loading" bucket).
+Partitions (compressed byte blobs) live in a flat container, one blob
+each.  The paper's small-machine experiments hinge on the cost of bringing
+partitions from disk back into a constrained memory pool; :class:`DiskStore`
+charges that I/O against a :class:`~repro.storage.stats.StoreStats` timer so
+the benchmark harness can report it (Figure 7's "data loading" bucket).
+
+Where the blobs physically live is pluggable: by default a local
+directory, but any :class:`~repro.storage.backends.StorageBackend`
+(in-memory, zip archive, a future object store) can host them — pass
+``backend=`` and the store becomes a thin timed adapter over it.
 """
 
 from __future__ import annotations
@@ -14,25 +19,39 @@ import shutil
 import tempfile
 from typing import Iterator, Optional
 
+from .backends import StorageBackend
 from .stats import StoreStats
 
 __all__ = ["DiskStore"]
 
 
 class DiskStore:
-    """A flat directory of named byte blobs.
+    """A flat container of named byte blobs with timed reads.
 
     Parameters
     ----------
     directory:
-        Where blobs are stored.  When ``None`` a private temporary directory
-        is created and removed on :meth:`close`.
+        Where blobs are stored.  When ``None`` (and no ``backend``) a
+        private temporary directory is created and removed on
+        :meth:`close`.
     stats:
         Optional shared stats sink; reads are timed under ``"io"``.
+    backend:
+        Optional :class:`~repro.storage.backends.StorageBackend` hosting
+        the blobs instead of a local directory — decouples partition
+        payload location from everything that reads through this store.
     """
 
-    def __init__(self, directory: Optional[str] = None, stats: Optional[StoreStats] = None):
-        if directory is None:
+    def __init__(self, directory: Optional[str] = None,
+                 stats: Optional[StoreStats] = None,
+                 backend: Optional[StorageBackend] = None):
+        if backend is not None and directory is not None:
+            raise ValueError("pass either directory or backend, not both")
+        self._backend = backend
+        if backend is not None:
+            self._directory = getattr(backend, "root", None)
+            self._owns_directory = False
+        elif directory is None:
             self._directory = tempfile.mkdtemp(prefix="repro-diskstore-")
             self._owns_directory = True
         else:
@@ -44,58 +63,88 @@ class DiskStore:
 
     # ------------------------------------------------------------------
     @property
+    def backend(self) -> Optional[StorageBackend]:
+        """The hosting backend, when this store is backend-hosted."""
+        return self._backend
+
+    @property
     def directory(self) -> str:
-        """Directory backing this store."""
+        """Directory backing this store (local stores only)."""
+        if self._directory is None:
+            raise TypeError(f"{self._backend!r} has no local directory")
         return self._directory
 
     def path(self, name: str) -> str:
-        """Filesystem path for blob ``name``."""
+        """Filesystem path for blob ``name`` (local stores only)."""
         safe = name.replace(os.sep, "_")
-        return os.path.join(self._directory, safe)
+        return os.path.join(self.directory, safe)
+
+    def _safe(self, name: str) -> str:
+        return name.replace(os.sep, "_")
 
     def write(self, name: str, payload: bytes) -> int:
         """Store ``payload`` under ``name``; returns the byte count."""
-        with open(self.path(name), "wb") as handle:
-            handle.write(payload)
+        if self._backend is not None:
+            self._backend.write_bytes(self._safe(name), payload)
+        else:
+            with open(self.path(name), "wb") as handle:
+                handle.write(payload)
         self._sizes[name] = len(payload)
         return len(payload)
 
     def read(self, name: str) -> bytes:
         """Read blob ``name``; raises ``KeyError`` if absent."""
-        try:
+        if self._backend is not None:
             with self.stats.timing("io"):
-                with open(self.path(name), "rb") as handle:
-                    payload = handle.read()
-        except FileNotFoundError:
-            raise KeyError(f"no blob named {name!r} in {self._directory}") from None
+                payload = self._backend.read_bytes(self._safe(name))
+        else:
+            try:
+                with self.stats.timing("io"):
+                    with open(self.path(name), "rb") as handle:
+                        payload = handle.read()
+            except FileNotFoundError:
+                raise KeyError(
+                    f"no blob named {name!r} in {self._directory}") from None
         self.stats.bump("blobs_read")
         self.stats.bump("bytes_read", len(payload))
         return payload
 
     def delete(self, name: str) -> None:
         """Remove blob ``name`` if present."""
-        try:
-            os.remove(self.path(name))
-        except FileNotFoundError:
-            pass
+        if self._backend is not None:
+            self._backend.delete(self._safe(name))
+        else:
+            try:
+                os.remove(self.path(name))
+            except FileNotFoundError:
+                pass
         self._sizes.pop(name, None)
 
     def exists(self, name: str) -> bool:
         """True when a blob named ``name`` is stored."""
+        if self._backend is not None:
+            return self._backend.exists(self._safe(name))
         return os.path.exists(self.path(name))
 
     def names(self) -> Iterator[str]:
         """Iterate over stored blob names."""
+        if self._backend is not None:
+            return iter(self._backend.list())
         return iter(sorted(os.listdir(self._directory)))
 
     def size(self, name: str) -> int:
         """Stored byte count of blob ``name``."""
         if name in self._sizes:
             return self._sizes[name]
+        if self._backend is not None:
+            return len(self._backend.read_bytes(self._safe(name)))
         return os.path.getsize(self.path(name))
 
     def total_bytes(self) -> int:
-        """Total on-disk footprint of all blobs."""
+        """Total stored footprint of all blobs."""
+        if self._backend is not None:
+            return sum(len(self._backend.read_bytes(name))
+                       for name in self._backend.list())
         return sum(
             os.path.getsize(os.path.join(self._directory, f))
             for f in os.listdir(self._directory)
@@ -114,4 +163,5 @@ class DiskStore:
         self.close()
 
     def __repr__(self) -> str:
-        return f"DiskStore({self._directory!r}, blobs={len(list(self.names()))})"
+        host = self._backend if self._backend is not None else self._directory
+        return f"DiskStore({host!r}, blobs={len(list(self.names()))})"

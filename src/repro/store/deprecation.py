@@ -1,0 +1,40 @@
+"""Warn-once plumbing for deprecated entry points.
+
+The unified-store redesign keeps every pre-facade entry point working
+(direct ``DeepMapping.load``, the CLI's bare-path dispatch) behind thin
+shims.  Each shim announces itself with a ``DeprecationWarning`` exactly
+once per process — loud enough to steer migrations, quiet enough not to
+flood a loop that opens a thousand stores.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_warned: Set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_once(key: str, message: str) -> bool:
+    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen.
+
+    Returns True when the warning fired (first call for this key since
+    process start or :func:`reset_warnings`).
+    """
+    with _lock:
+        if key in _warned:
+            return False
+        _warned.add(key)
+    # stacklevel 3: warn_once -> shim -> the caller being steered.
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    return True
+
+
+def reset_warnings() -> None:
+    """Forget which deprecations already fired (testing hook)."""
+    with _lock:
+        _warned.clear()

@@ -1,0 +1,211 @@
+"""Pluggable execution strategies for the read path.
+
+The sharded store fans a batched lookup out to its shards, and both store
+kinds expose ``lookup_async`` returning a future.  How that concurrency is
+realized is a deployment decision, not a store decision, so it lives
+behind one small protocol:
+
+- :class:`SerialStrategy` — everything inline on the calling thread
+  (debugging, profiling, single-core boxes; ``submit`` still returns a
+  future, already resolved).
+- :class:`ThreadPoolStrategy` — shard fan-out on a lazily created
+  ``ThreadPoolExecutor`` (NumPy kernels release the GIL, so shards
+  overlap on multi-core hosts), plus a *separate* small pool for
+  ``submit`` so an async lookup coordinating a fan-out can never
+  deadlock against its own workers.
+- :class:`FreeThreadingStrategy` — a ``ThreadPoolStrategy`` that detects
+  free-threaded CPython (PEP 703, ``sys._is_gil_enabled() is False``)
+  and widens its default worker count to the full core count, since
+  pure-Python sections stop serializing there too.
+
+Strategies are named (``"serial"`` / ``"threads"`` / ``"free-threads"``)
+so configs and CLIs can select them by string via :func:`make_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Protocol, Union, \
+    runtime_checkable
+
+__all__ = [
+    "ExecutorStrategy",
+    "SerialStrategy",
+    "ThreadPoolStrategy",
+    "FreeThreadingStrategy",
+    "EXECUTOR_NAMES",
+    "make_executor",
+    "gil_enabled",
+]
+
+
+def gil_enabled() -> bool:
+    """True on a GIL-ful interpreter (every CPython before free threading)."""
+    checker = getattr(sys, "_is_gil_enabled", None)
+    return True if checker is None else bool(checker())
+
+
+@runtime_checkable
+class ExecutorStrategy(Protocol):
+    """How a store runs independent jobs and services async lookups."""
+
+    #: Stable name configs/CLIs select the strategy by.
+    name: str
+
+    def map(self, fn: Callable, jobs: Iterable) -> List:
+        """Run ``fn`` over ``jobs``, returning results in job order."""
+        ...
+
+    def submit(self, fn: Callable, *args, **kwargs) -> "Future":
+        """Schedule ``fn(*args, **kwargs)``; return a future of its result."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker threads (idempotent)."""
+        ...
+
+
+class SerialStrategy:
+    """Run everything inline on the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, jobs: Iterable) -> List:
+        return [fn(job) for job in jobs]
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # the future carries the failure
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "SerialStrategy()"
+
+
+class ThreadPoolStrategy:
+    """Fan out on a lazily created thread pool.
+
+    ``map`` jobs run on the fan-out pool (inline when there is at most
+    one job or one worker — matching the sharded store's historical
+    short-circuit).  ``submit`` runs on a separate two-thread coordinator
+    pool: an async lookup submitted there can safely ``map`` its shard
+    jobs onto the fan-out pool without the two competing for the same
+    workers (the classic nested-pool deadlock).
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 thread_name_prefix: str = "repro-exec"):
+        self.max_workers = (max(1, int(max_workers))
+                            if max_workers is not None
+                            else self._default_workers())
+        self._prefix = thread_name_prefix
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._coordinator: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _default_workers() -> int:
+        return max(1, min(32, os.cpu_count() or 1))
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=self._prefix)
+            return self._pool
+
+    def _get_coordinator(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._coordinator is None:
+                self._coordinator = ThreadPoolExecutor(
+                    max_workers=2,
+                    thread_name_prefix=self._prefix + "-async")
+            return self._coordinator
+
+    def map(self, fn: Callable, jobs: Iterable) -> List:
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.max_workers <= 1:
+            return [fn(job) for job in jobs]
+        return list(self._get_pool().map(fn, jobs))
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self._get_coordinator().submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            coordinator, self._coordinator = self._coordinator, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if coordinator is not None:
+            coordinator.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class FreeThreadingStrategy(ThreadPoolStrategy):
+    """Thread pool sized for free-threaded CPython.
+
+    On a no-GIL build the pure-Python routing/merge sections parallelize
+    too, so the default width is the full core count rather than the
+    conservative shared-pool default.  On a GIL-ful interpreter it behaves
+    exactly like :class:`ThreadPoolStrategy` (NumPy still releases the
+    GIL inside kernels), so selecting it is always safe.
+    """
+
+    name = "free-threads"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 thread_name_prefix: str = "repro-freethread"):
+        self.gil_enabled = gil_enabled()
+        if max_workers is None and not self.gil_enabled:
+            max_workers = os.cpu_count() or 1
+        super().__init__(max_workers=max_workers,
+                         thread_name_prefix=thread_name_prefix)
+
+
+#: Selectable strategy names, in documentation order.
+EXECUTOR_NAMES = ("serial", "threads", "free-threads")
+
+_FACTORIES = {
+    "serial": lambda max_workers: SerialStrategy(),
+    "threads": ThreadPoolStrategy,
+    "free-threads": FreeThreadingStrategy,
+}
+
+
+def make_executor(spec: Union[str, ExecutorStrategy, None] = None,
+                  max_workers: Optional[int] = None) -> ExecutorStrategy:
+    """Resolve a strategy from a name, an instance, or ``None``.
+
+    ``None`` means the default: a thread pool (width ``max_workers``),
+    degrading to serial execution when ``max_workers`` is 1.  A strategy
+    instance passes through untouched (caller keeps ownership).
+    """
+    if spec is None:
+        spec = "threads"
+    if isinstance(spec, str):
+        try:
+            factory = _FACTORIES[spec]
+        except KeyError:
+            names = ", ".join(repr(n) for n in EXECUTOR_NAMES)
+            raise ValueError(f"unknown executor strategy {spec!r}; "
+                             f"expected one of {names}") from None
+        return factory(max_workers)
+    if isinstance(spec, ExecutorStrategy):
+        return spec
+    raise TypeError(f"executor must be a strategy name, an ExecutorStrategy "
+                    f"instance, or None; got {type(spec).__name__}")

@@ -1,0 +1,91 @@
+"""Old entry points keep working behind warn-once deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import DeepMapping
+from repro.cli import main
+from repro.store import reset_warnings
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes its own first-warning event."""
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+class TestDeepMappingLoadShim:
+    def test_warns_exactly_once_and_behaves(self, tmp_path, mono,
+                                            query_keys):
+        path = str(tmp_path / "legacy.dm")
+        mono.save(path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = DeepMapping.load(path)
+            second = DeepMapping.load(path)
+        messages = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "DeepMapping.load" in str(w.message)]
+        assert len(messages) == 1
+        # Behavior is unchanged: both shim loads answer like the source.
+        expected = mono.lookup(query_keys)
+        for clone in (first, second):
+            result = clone.lookup(query_keys)
+            np.testing.assert_array_equal(result.found, expected.found)
+            for column in mono.value_names:
+                np.testing.assert_array_equal(result.values[column],
+                                              expected.values[column])
+
+    def test_open_does_not_warn(self, tmp_path, mono):
+        path = str(tmp_path / "modern.dm")
+        mono.save(path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DeepMapping.open(path)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestCliPathDispatchShim:
+    def test_bare_path_warns_exactly_once_and_behaves(self, tmp_path, mono,
+                                                      capsys):
+        path = str(tmp_path / "cli.dm")
+        mono.save(path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["info", path]) == 0
+            assert main(["info", path]) == 0
+        messages = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "bare store paths" in str(w.message)]
+        assert len(messages) == 1
+        stdout = capsys.readouterr().out
+        assert "model:" in stdout and "total:" in stdout
+
+    def test_url_dispatch_does_not_warn(self, tmp_path, mono, capsys):
+        path = tmp_path / "cli-url.dm"
+        mono.save(str(path))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["info", f"file://{path}"]) == 0
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert "model:" in capsys.readouterr().out
+
+    def test_missing_store_error_names_schemes(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info", str(tmp_path / "absent.dm")])
+        message = str(excinfo.value)
+        for scheme in ("file://", "mem://", "zip://"):
+            assert scheme in message
+
+    def test_directory_without_manifest_names_schemes(self, tmp_path):
+        bare = tmp_path / "not-a-store"
+        bare.mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", str(bare), "--key", "key=1"])
+        assert "file://" in str(excinfo.value)

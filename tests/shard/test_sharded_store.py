@@ -81,19 +81,19 @@ class TestLookupParity:
         store = ShardedDeepMapping.fit(
             small_table, fast_config(epochs=3),
             ShardingConfig(n_shards=4, max_workers=2))
-        executors = []
+        pools = []
 
         def probe():
-            executors.append(store._get_executor())
+            pools.append(store.executor._get_pool())
 
         threads = [threading.Thread(target=probe) for _ in range(8)]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
-        assert len({id(e) for e in executors}) == 1
+        assert len({id(pool) for pool in pools}) == 1
         store.close()
-        assert store._executor is None
+        assert store.executor._pool is None
 
     def test_empty_batch(self, sharded):
         result = sharded.lookup({"key": np.empty(0, dtype=np.int64)})
