@@ -1,0 +1,261 @@
+"""Pipelined read-path benchmark: staged shard lookups + warm reopens.
+
+Two claims are tracked:
+
+1. **Pipelined vs barrier throughput.** `ShardedDeepMapping.lookup` runs
+   the staged read path (one (shard, key) sort shared by every stage,
+   per-shard ``LookupPlan`` jobs with aux-gated inference, streaming
+   scatter into preallocated outputs); `lookup_barrier` keeps the
+   pre-pipeline path (stable sort by shard only, opaque per-shard
+   lookups, concatenate + inverse-permute behind a barrier).  On the
+   multi-shard 100k-key 50%-hit batch the pipelined path must be
+   >= 1.25x the barrier baseline, with bit-identical results.
+2. **Warm vs cold `repro.open(url, writable=False)`.** A cold read-only
+   open mmaps the payloads, deserializes once and builds aux
+   partitions; a warm open of the same unchanged store wraps the cached
+   bundle.  Warm must be >= 3x faster than cold.
+
+Writes ``BENCH_pipeline.json`` at the repo root (the tracked
+trajectory); ``docs/performance.md`` explains how to read it.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py           # full
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke   # CI
+
+Smoke mode shrinks the build so it finishes in CI seconds, still
+asserts bit-identical results on every path, and fails if the
+pipelined path falls below the freshly measured barrier baseline
+(ratio < 1.0 with a noise guard) — the regression gate behind the CI
+step.  Smoke JSON goes under ``benchmarks/results/``.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.bench import format_table
+from repro.core import DeepMappingConfig
+from repro.shard import ShardedDeepMapping, ShardingConfig
+from repro.storage import payload_cache
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+ACCEPTANCE_PIPELINE_SPEEDUP = 1.25  # pipelined vs barrier, full run
+ACCEPTANCE_WARM_SPEEDUP = 3.0       # warm vs cold read-only reopen
+SMOKE_FLOOR = 0.8                   # pipelined/barrier CI gate (noise guard)
+
+
+def bench_config(smoke: bool) -> DeepMappingConfig:
+    return DeepMappingConfig(
+        epochs=2 if smoke else 8,
+        batch_size=4096,
+        shared_sizes=(64,),
+        private_sizes=(32,),
+        aux_partition_bytes=32 * 1024,
+    )
+
+
+def build_query(table, batch: int, rng):
+    """A 50%-hit batch: half live keys, half in-domain gaps, shuffled."""
+    key_name = table.key[0]
+    keys = table.column(key_name)
+    domain = np.arange(keys.min(), keys.max() + 1, dtype=np.int64)
+    absent = np.setdiff1d(domain, keys)
+    n_hits = batch // 2
+    query = np.concatenate([
+        rng.choice(keys, size=n_hits, replace=True),
+        rng.choice(absent, size=batch - n_hits, replace=True),
+    ])
+    rng.shuffle(query)
+    return {key_name: query}
+
+
+def interleaved_best(jobs, runs: int):
+    """Best seconds per labelled thunk, passes interleaved (drift-fair)."""
+    best = {label: float("inf") for label, _ in jobs}
+    for _ in range(runs):
+        for label, fn in jobs:
+            start = time.perf_counter()
+            fn()
+            best[label] = min(best[label], time.perf_counter() - start)
+    return best
+
+
+def assert_identical(result, reference, value_names, label):
+    assert np.array_equal(result.found, reference.found), label
+    for column in value_names:
+        assert np.array_equal(result.values[column],
+                              reference.values[column]), (label, column)
+
+
+def run_pipeline_benchmark(rows: int = 120_000, batch: int = 100_000,
+                           shards: int = 4, runs: int = 7,
+                           smoke: bool = False):
+    from repro.data import synthetic
+
+    table = synthetic.single_column(rows, "high", seed=1, domain_factor=2.0)
+    rng = np.random.default_rng(0)
+    query = build_query(table, batch, rng)
+    config = bench_config(smoke)
+    workdir = tempfile.mkdtemp(prefix="bench-pipeline-")
+
+    store = ShardedDeepMapping.fit(table, config,
+                                   ShardingConfig(n_shards=shards))
+    store.lookup(query)          # warm engines, pool, scratch
+    store.lookup_barrier(query)
+    reference = store.lookup_barrier(query)  # the serial reference path
+    assert_identical(store.lookup(query), reference, store.value_names,
+                     "pipelined vs barrier")
+
+    best = interleaved_best([
+        ("barrier", lambda: store.lookup_barrier(query)),
+        ("pipelined", lambda: store.lookup(query)),
+    ], runs)
+    speedup = best["barrier"] / best["pipelined"]
+
+    # ---- warm vs cold read-only reopen --------------------------------
+    url = os.path.join(workdir, "store")
+    store.save(url)
+    payload_cache().clear()
+    start = time.perf_counter()
+    cold_store = repro.open(url, writable=False)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_store = repro.open(url, writable=False)
+    warm_seconds = time.perf_counter() - start
+    warm_speedup = cold_seconds / warm_seconds
+    for label, reopened in (("cold", cold_store), ("warm", warm_store)):
+        assert_identical(reopened.lookup(query), reference,
+                         store.value_names, f"{label} read-only reopen")
+
+    report = {
+        "benchmark": "pipeline",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "smoke" if smoke else "full",
+        "rows": rows,
+        "batch": batch,
+        "shards": shards,
+        "runs": runs,
+        "hit_ratio": 0.5,
+        "aux_ratio": store.aux_ratio(),
+        "config": {
+            "epochs": config.epochs,
+            "shared_sizes": list(config.shared_sizes),
+            "private_sizes": list(config.private_sizes),
+        },
+        "lookup": {
+            "barrier_seconds": best["barrier"],
+            "pipelined_seconds": best["pipelined"],
+            "barrier_keys_per_second": batch / best["barrier"],
+            "pipelined_keys_per_second": batch / best["pipelined"],
+            "speedup_pipelined_vs_barrier": speedup,
+        },
+        "reopen": {
+            "cold_open_seconds": cold_seconds,
+            "warm_open_seconds": warm_seconds,
+            "speedup_warm_vs_cold": warm_speedup,
+        },
+        "acceptance": {
+            "metric": "pipelined vs barrier lookup speedup on the "
+                      f"{shards}-shard {batch}-key 50%-hit batch, and "
+                      "warm vs cold writable=False reopen",
+            "pipeline_target": ACCEPTANCE_PIPELINE_SPEEDUP,
+            "pipeline_measured": speedup,
+            "warm_target": ACCEPTANCE_WARM_SPEEDUP,
+            "warm_measured": warm_speedup,
+            "passed": (speedup >= ACCEPTANCE_PIPELINE_SPEEDUP
+                       and warm_speedup >= ACCEPTANCE_WARM_SPEEDUP),
+        },
+    }
+
+    print(format_table(
+        ["path", "best ms", "keys/s"],
+        [["barrier", best["barrier"] * 1e3,
+          int(batch / best["barrier"])],
+         ["pipelined", best["pipelined"] * 1e3,
+          int(batch / best["pipelined"])]],
+        title=(f"Sharded lookup: pipelined vs barrier (rows={rows}, "
+               f"batch={batch}, shards={shards}, best of {runs})"),
+    ))
+    print(f"pipelined speedup: {speedup:.2f}x "
+          f"(aux_ratio={store.aux_ratio():.3f})")
+    print(f"read-only reopen: cold {cold_seconds * 1e3:.1f} ms, "
+          f"warm {warm_seconds * 1e3:.1f} ms "
+          f"({warm_speedup:.1f}x)")
+
+    cold_store.close()
+    warm_store.close()
+    store.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def write_json(report, out_path: str) -> None:
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[benchmark JSON saved to {out_path}]")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI config (results not tracked)")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--runs", type=int, default=None)
+    args = parser.parse_args()
+
+    if args.smoke:
+        defaults = dict(rows=24_000, batch=40_000, shards=4, runs=3)
+        out_path = os.path.join(RESULTS_DIR, "BENCH_pipeline.json")
+    else:
+        defaults = dict(rows=120_000, batch=100_000, shards=4, runs=7)
+        out_path = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
+    for name, value in defaults.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    report = run_pipeline_benchmark(rows=args.rows, batch=args.batch,
+                                    shards=args.shards, runs=args.runs,
+                                    smoke=args.smoke)
+    write_json(report, out_path)
+
+    speedup = report["lookup"]["speedup_pipelined_vs_barrier"]
+    if args.smoke:
+        # CI regression gate: the pipelined path must not fall below the
+        # barrier baseline measured in the same process (SMOKE_FLOOR
+        # absorbs small-batch timing noise on shared runners).
+        if speedup < SMOKE_FLOOR:
+            print(f"SMOKE GATE FAILED: pipelined throughput {speedup:.2f}x "
+                  f"of barrier baseline (floor {SMOKE_FLOOR:.2f})")
+            return 1
+        print(f"smoke gate: pipelined {speedup:.2f}x barrier "
+              f"(floor {SMOKE_FLOOR:.2f}) — "
+              "full acceptance tracked in BENCH_pipeline.json")
+        return 0
+    if not report["acceptance"]["passed"]:
+        print(f"ACCEPTANCE FAILED: pipelined {speedup:.2f}x "
+              f"(target {ACCEPTANCE_PIPELINE_SPEEDUP}x), warm reopen "
+              f"{report['reopen']['speedup_warm_vs_cold']:.1f}x "
+              f"(target {ACCEPTANCE_WARM_SPEEDUP}x)")
+        return 1
+    print(f"acceptance: pipelined {speedup:.2f}x "
+          f"(target >= {ACCEPTANCE_PIPELINE_SPEEDUP}x), warm reopen "
+          f"{report['reopen']['speedup_warm_vs_cold']:.1f}x "
+          f"(target >= {ACCEPTANCE_WARM_SPEEDUP}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -32,7 +32,9 @@ from ..nn.inference import InferenceSession
 from ..nn.multitask import ArchitectureSpec, MultiTaskMLP
 from ..nn.optimizers import Adam, ExponentialDecay
 from ..nn.training import Trainer
-from ..storage.backends import resolve_blob_url
+from ..storage import zerocopy
+from ..storage.backends import read_blob_view, resolve_blob_url
+from ..storage.blob_cache import payload_cache
 from ..storage.buffer_pool import BufferPool
 from ..storage.disk import DiskStore
 from ..storage.stats import StoreStats
@@ -45,7 +47,7 @@ from .exist_index import ExistenceIndex, load_existence, make_existence_index
 from .modify import (MIN_ROWS_FOR_RATIO_RETRAIN, ModificationTracker,
                      estimate_batch_bytes)
 
-__all__ = ["DeepMapping", "LookupResult", "SizeReport",
+__all__ = ["DeepMapping", "LookupPlan", "LookupResult", "SizeReport",
            "normalize_keys", "normalize_rows"]
 
 KeysLike = Union[Dict[str, np.ndarray], ColumnTable, np.ndarray, list]
@@ -163,6 +165,202 @@ class SizeReport:
         }
 
 
+class LookupPlan:
+    """One batched lookup (Algorithm 1), decomposed into explicit stages.
+
+    The stages and their data dependencies::
+
+        encode ──> existence ──> aux ──> inference ──> decode/scatter
+        (ctor)      (V_exist)   (T_aux)  (compiled M)
+
+    Splitting the lookup open buys three things the opaque call could
+    not deliver:
+
+    - **Shared sort order.** The auxiliary store wants sorted keys (one
+      partition fault per batch).  A caller that already holds the keys
+      sorted — the sharded route stage sorts *once* for every shard —
+      passes ``presorted=True`` and no stage ever sorts again; otherwise
+      the plan sorts the surviving keys once and both the aux probe and
+      the scatter reuse that order.
+    - **Aux-gated inference.** ``T_aux`` overrides the model wherever it
+      has a row, so running the model there is pure waste.  The compiled
+      path probes ``T_aux`` first and runs inference only on keys that
+      are live *and* not served from the auxiliary table.  (The
+      reference path still runs the session over every key, exactly as
+      Algorithm 1 is written — it stays the parity oracle.)
+    - **Streaming scatter.** :meth:`execute_into` writes the finished
+      segment straight into caller-owned output arrays, so a sharded
+      fan-out assembles results as shards finish instead of
+      concatenating and permuting a list of per-shard results behind a
+      barrier.
+
+    Results are bit-identical to the pre-staged lookup on both the
+    compiled and the reference path: gating only skips predictions that
+    were about to be overwritten, misses decode to the same
+    ``vocab[0]`` filler, and stage order never changes any per-key
+    answer.  Plans are single-use and not thread-safe; build one per
+    batch via :meth:`DeepMapping.plan_lookup`.
+    """
+
+    __slots__ = ("mapping", "flat", "in_domain", "presorted", "found",
+                 "_hits", "_aux_hit", "_aux_codes", "_model_codes",
+                 "_ref_codes")
+
+    def __init__(self, mapping: "DeepMapping",
+                 key_cols: Dict[str, np.ndarray],
+                 presorted: bool = False):
+        self.mapping = mapping
+        self.flat, self.in_domain = mapping.key_codec.try_flatten(key_cols)
+        self.presorted = presorted
+        self.found: Optional[np.ndarray] = None
+        self._hits: Optional[np.ndarray] = None       # hit rows, key-sorted
+        self._aux_hit: Optional[np.ndarray] = None    # bool per hit row
+        self._aux_codes: Optional[Dict[str, np.ndarray]] = None
+        self._model_codes: Optional[Dict[str, np.ndarray]] = None
+        self._ref_codes: Optional[Dict[str, np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return int(self.flat.size)
+
+    # -- stage 2: existence gate ---------------------------------------
+    def run_existence(self) -> np.ndarray:
+        """Mask the batch through ``V_exist`` (and the key domain)."""
+        m = self.mapping
+        with m.stats.timing("existence"):
+            self.found = m.exist.test_batch(self.flat) & self.in_domain
+        return self.found
+
+    # -- stage 3: auxiliary table --------------------------------------
+    def run_aux(self) -> None:
+        """Probe ``T_aux`` for every surviving key.
+
+        Keys are probed in sorted order — reusing the caller's order
+        when ``presorted``, sorting once here otherwise — so the
+        partition store's monotonic fast path skips its own argsort and
+        each partition is faulted at most once.
+        """
+        m = self.mapping
+        hits = np.flatnonzero(self.found)
+        if hits.size == 0:
+            self._hits = hits
+            self._aux_hit = np.zeros(0, dtype=bool)
+            self._aux_codes = {t: np.zeros(0, dtype=np.int64)
+                               for t in m.value_names}
+            return
+        sub = self.flat[hits]
+        if not self.presorted and sub.size > 1 \
+                and not np.all(sub[1:] >= sub[:-1]):
+            order = np.argsort(sub, kind="stable")
+            hits = hits[order]
+            sub = sub[order]
+        with m.stats.timing("aux"):
+            aux_hit, aux_codes = m.aux.lookup_batch(sub)
+        self._hits = hits
+        self._aux_hit = aux_hit
+        self._aux_codes = {t: aux_codes[t][aux_hit] for t in m.value_names}
+
+    @property
+    def aux_rows(self) -> np.ndarray:
+        """Batch positions served from ``T_aux``."""
+        return self._hits[self._aux_hit]
+
+    @property
+    def model_rows(self) -> np.ndarray:
+        """Batch positions served by model inference alone."""
+        return self._hits[~self._aux_hit]
+
+    # -- stage 4: model inference --------------------------------------
+    def run_inference(self) -> None:
+        """Run the frozen model on the rows that still need it.
+
+        Compiled path: the fused kernel runs only on :attr:`model_rows`
+        (live keys without an aux override).  Reference path: the
+        session runs over every key, as the paper writes Algorithm 1.
+        """
+        m = self.mapping
+        with m.stats.timing("inference"):
+            if not m._use_compiled():
+                x = m.key_encoder.encode(self.flat)
+                self._ref_codes = m.session.run(
+                    x, batch_size=m.config.inference_batch)
+                return
+            rows = self.model_rows
+            if rows.size:
+                engine = m.compiled_session()
+                self._model_codes = engine.run(
+                    self.flat[rows], batch_size=m.config.inference_batch)
+            else:
+                self._model_codes = {t: np.zeros(0, dtype=np.int64)
+                                     for t in m.value_names}
+
+    # -- stage 5: decode + assembly ------------------------------------
+    def _decoded_task(self, task: str) -> np.ndarray:
+        """This batch's decoded values for one task.
+
+        The single decode implementation behind both :meth:`finish` and
+        :meth:`execute_into` — the bit-identity-critical branch (clip
+        bounds, ``vocab[0]`` miss filler, model/aux overwrite order)
+        lives here once.
+        """
+        enc = self.mapping.fdecode.encoders[task]
+        if self._ref_codes is not None:
+            codes = self._ref_codes[task].copy()
+            codes[self.aux_rows] = self._aux_codes[task]
+            return enc.decode(np.clip(codes, 0, enc.cardinality - 1))
+        out = np.full(self.flat.size, enc.decode(_ZERO_CODE)[0],
+                      dtype=enc.vocab.dtype)
+        rows = self.model_rows
+        if rows.size:
+            out[rows] = enc.decode(self._model_codes[task])
+        rows = self.aux_rows
+        if rows.size:
+            out[rows] = enc.decode(self._aux_codes[task])
+        return out
+
+    def finish(self) -> LookupResult:
+        """Decode codes to values and assemble a LookupResult."""
+        m = self.mapping
+        with m.stats.timing("decode"):
+            values = {task: self._decoded_task(task)
+                      for task in m.value_names}
+        return LookupResult(found=self.found, values=values)
+
+    def execute(self) -> LookupResult:
+        """Run every stage in order — the serial lookup."""
+        self.run_existence()
+        self.run_aux()
+        self.run_inference()
+        return self.finish()
+
+    def execute_into(
+        self,
+        found_out: np.ndarray,
+        values_out: Dict[str, np.ndarray],
+        dest: np.ndarray,
+    ) -> None:
+        """Run the plan and scatter its segment into shared output arrays.
+
+        ``dest`` maps this plan's batch positions to positions in the
+        caller's arrays; disjoint ``dest`` sets may be filled from
+        concurrent threads (the sharded store's streaming assembly).
+        Misses inside the segment are written too (the per-store
+        ``vocab[0]`` filler), matching what a merge of per-shard
+        results would have produced.
+        """
+        self.run_existence()
+        self.run_aux()
+        self.run_inference()
+        m = self.mapping
+        found_out[dest] = self.found
+        with m.stats.timing("decode"):
+            for task in m.value_names:
+                values_out[task][dest] = self._decoded_task(task)
+
+
+#: Shared scratch for the "decode code 0" filler lookups.
+_ZERO_CODE = np.zeros(1, dtype=np.int64)
+
+
 class DeepMapping:
     """Learned, lossless, updateable key→value mapping.
 
@@ -197,6 +395,11 @@ class DeepMapping:
         #: (see :class:`repro.lifecycle.MaintenanceEngine`) instead of
         #: firing inline in the mutating call.
         self.auto_rebuild = True
+        #: False for structures opened via ``repro.open(...,
+        #: writable=False)``: components may be shared with other opens
+        #: of the same payload (and backed by read-only mmap views), so
+        #: every mutating entry point refuses with ``PermissionError``.
+        self.writable = True
         self._dataset_bytes = int(dataset_bytes)
         #: Lazily compiled fused lookup kernel (see :meth:`compiled_session`).
         self._compiled: Optional[CompiledSession] = None
@@ -445,62 +648,33 @@ class DeepMapping:
         # getattr: configs pickled before this knob existed lack the field.
         return bool(getattr(self.config, "compiled_lookup", True))
 
-    def _predict_codes(self, flat: np.ndarray,
-                       found: np.ndarray) -> Dict[str, np.ndarray]:
-        """Label codes per task for a batch of flat query keys.
+    def plan_lookup(self, keys: KeysLike,
+                    presorted: bool = False) -> LookupPlan:
+        """Stage a batched lookup without executing it.
 
-        The compiled path runs the fused kernel only on rows that passed
-        the existence mask and scatters predictions back — codes for
-        missing rows stay 0, which ``found`` masks out downstream.  The
-        reference path runs the frozen session over every key, exactly as
-        the paper's Algorithm 1 is written.
+        Returns a :class:`LookupPlan` whose stages (existence gate, aux
+        probe, gated inference, decode/scatter) the caller drives —
+        ``plan.execute()`` reproduces :meth:`lookup` exactly, while
+        ``plan.execute_into`` streams the finished segment into shared
+        output arrays (the sharded store's pipelined fan-out).  Pass
+        ``presorted=True`` only when the keys arrive in ascending
+        flattened order; the aux stage then skips sorting entirely.
         """
-        if not self._use_compiled():
-            x = self.key_encoder.encode(flat)
-            return self.session.run(x, batch_size=self.config.inference_batch)
-        codes = {t: np.zeros(flat.size, dtype=np.int64)
-                 for t in self.value_names}
-        hit_rows = np.flatnonzero(found)
-        if hit_rows.size:
-            engine = self.compiled_session()
-            hit = engine.run(flat[hit_rows],
-                             batch_size=self.config.inference_batch)
-            for task in self.value_names:
-                codes[task][hit_rows] = hit[task]
-        return codes
+        return LookupPlan(self, self._normalize_keys(keys),
+                          presorted=presorted)
 
     def lookup(self, keys: KeysLike) -> LookupResult:
         """Batch exact-match lookup.
 
-        Masks non-existing keys through ``V_exist``, runs batch inference
-        (through the compiled kernel, gated to existing keys, unless
-        ``config.compiled_lookup`` is off), overrides misclassified keys
-        from ``T_aux``, and decodes label codes to original values.
+        Masks non-existing keys through ``V_exist``, probes ``T_aux``,
+        runs batch inference (through the compiled kernel, gated to keys
+        that are live and not served from ``T_aux``, unless
+        ``config.compiled_lookup`` is off), and decodes label codes to
+        original values.  Implemented as the serial execution of a
+        :class:`LookupPlan`; see :meth:`plan_lookup` for the staged
+        form.
         """
-        key_cols = self._normalize_keys(keys)
-        flat, in_domain = self.key_codec.try_flatten(key_cols)
-
-        with self.stats.timing("existence"):
-            found = self.exist.test_batch(flat) & in_domain
-
-        with self.stats.timing("inference"):
-            codes = self._predict_codes(flat, found)
-
-        if found.any():
-            aux_found, aux_codes = self.aux.lookup_batch(flat[found])
-            rows = np.flatnonzero(found)[aux_found]
-            for task in self.value_names:
-                codes[task][rows] = aux_codes[task][aux_found]
-
-        with self.stats.timing("decode"):
-            # Codes for non-existing rows are clamped into vocabulary range
-            # purely so decode is well-defined; `found` masks them out.
-            values = {}
-            for task in self.value_names:
-                card = self.fdecode.encoders[task].cardinality
-                safe = np.clip(codes[task], 0, card - 1)
-                values[task] = self.fdecode.encoders[task].decode(safe)
-        return LookupResult(found=found, values=values)
+        return self.plan_lookup(keys).execute()
 
     def lookup_one(self, **key_parts) -> Optional[Dict[str, object]]:
         """Convenience single-key lookup; returns a row dict or None."""
@@ -565,6 +739,7 @@ class DeepMapping:
         only rows the model mispredicts are materialized in ``T_aux``.
         Returns the number of rows landed in the auxiliary table.
         """
+        self._require_writable()
         columns = self._normalize_rows(rows)
         try:
             flat = self._flatten_or_rebuild_domain(columns)
@@ -598,6 +773,7 @@ class DeepMapping:
         Returns the number of keys actually deleted (absent keys are
         ignored, matching the paper's idempotent bit-clear semantics).
         """
+        self._require_writable()
         key_cols = self._normalize_keys(keys)
         flat, in_domain = self.key_codec.try_flatten(key_cols)
         live = self.exist.test_batch(flat) & in_domain
@@ -615,6 +791,7 @@ class DeepMapping:
         the rest are inserted or updated in place there.  Returns the
         number of rows materialized in the auxiliary table.
         """
+        self._require_writable()
         columns = self._normalize_rows(rows)
         flat, in_domain = self.key_codec.try_flatten(columns)
         live = self.exist.test_batch(flat) & in_domain
@@ -659,6 +836,7 @@ class DeepMapping:
         rely on both), and the retired table's cached partitions are purged
         so the successor never reads stale blocks under its own names.
         """
+        self._require_writable()
         table = self.to_table()
         build_config = config if config is not None else self.config
         warm = (self.session.state_arrays()
@@ -725,8 +903,16 @@ class DeepMapping:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_payload(self) -> bytes:
-        """Serialize the full hybrid structure to one byte payload."""
+    def to_payload(self) -> bytearray:
+        """Serialize the full hybrid structure to one byte payload.
+
+        The payload is a :mod:`repro.storage.zerocopy` container: the
+        pickled state plus out-of-band, 64-byte-aligned buffer segments
+        for every array (aux rows, vocabularies, codec domains).  Opened
+        through an mmap-capable backend with ``writable=False``, those
+        arrays materialize as views over shared pages instead of copies.
+        Legacy (plain-pickle) payloads remain readable.
+        """
         aux_keys, aux_codes = self.aux.scan()
         state = {
             "config": self.config,
@@ -742,7 +928,7 @@ class DeepMapping:
             # would restart the retrain threshold from zero every reopen.
             "tracker": self.tracker.to_state(),
         }
-        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return zerocopy.pack(state)
 
     def save(self, target: str) -> int:
         """Persist to a path or ``file:// / mem:// / zip://`` URL.
@@ -751,24 +937,33 @@ class DeepMapping:
         ``mem://`` and ``zip://`` targets are containers and store the
         payload under
         :data:`~repro.storage.backends.MONOLITHIC_BLOB`.  The write is
-        atomic on every backend.  Returns bytes written.
+        atomic on every backend, and the process-wide payload cache entry
+        for the target is invalidated so later ``writable=False`` opens
+        never serve the retired content.  Returns bytes written.
         """
         backend, blob = resolve_blob_url(str(target))
-        return backend.write_bytes(blob, self.to_payload())
+        written = backend.write_bytes(blob, self.to_payload())
+        payload_cache().invalidate(backend, blob)
+        return written
+
+    @staticmethod
+    def _load_state(payload, zero_copy: bool = False) -> Dict[str, object]:
+        """Payload bytes/view -> state dict (either container format)."""
+        if zerocopy.is_packed(payload):
+            return zerocopy.unpack(payload, zero_copy=zero_copy)
+        return pickle.loads(payload)
 
     @classmethod
-    def from_payload(
+    def _components_from_state(
         cls,
-        payload: bytes,
-        disk: Optional[DiskStore] = None,
-        pool: Optional[BufferPool] = None,
-        stats: Optional[StoreStats] = None,
-        aux_name_prefix: str = "aux",
-    ) -> "DeepMapping":
-        """Inverse of :meth:`to_payload`."""
-        state = pickle.loads(payload)
+        state: Dict[str, object],
+        disk: Optional[DiskStore],
+        pool: Optional[BufferPool],
+        stats: StoreStats,
+        aux_name_prefix: str,
+    ) -> Dict[str, object]:
+        """Materialize the shared components a payload state describes."""
         config: DeepMappingConfig = state["config"]
-        stats = stats if stats is not None else StoreStats()
         fdecode = DecodeMap.from_state(state["fdecode"])
         aux = AuxiliaryTable(
             tasks=fdecode.columns,
@@ -781,22 +976,109 @@ class DeepMapping:
             name_prefix=aux_name_prefix,
         )
         aux.build(state["aux_keys"], state["aux_codes"])
+        return {
+            "config": config,
+            "key_codec": CompositeKeyCodec.from_state(state["key_codec"]),
+            "key_encoder": KeyEncoder.from_state(state["key_encoder"]),
+            "session": InferenceSession.from_bytes(state["session"]),
+            "aux": aux,
+            "exist": load_existence(state["exist"]),
+            "fdecode": fdecode,
+            "dataset_bytes": state["dataset_bytes"],
+            "tracker": state.get("tracker"),
+        }
+
+    @classmethod
+    def _assemble(cls, components: Dict[str, object],
+                  stats: Optional[StoreStats]) -> "DeepMapping":
         mapping = cls(
-            key_codec=CompositeKeyCodec.from_state(state["key_codec"]),
-            key_encoder=KeyEncoder.from_state(state["key_encoder"]),
-            session=InferenceSession.from_bytes(state["session"]),
-            aux=aux,
-            exist=load_existence(state["exist"]),
-            fdecode=fdecode,
-            config=config,
-            dataset_bytes=state["dataset_bytes"],
+            key_codec=components["key_codec"],
+            key_encoder=components["key_encoder"],
+            session=components["session"],
+            aux=components["aux"],
+            exist=components["exist"],
+            fdecode=components["fdecode"],
+            config=components["config"],
+            dataset_bytes=components["dataset_bytes"],
             stats=stats,
         )
         # Payloads written before tracker persistence lack the key; they
         # keep today's behavior (counters restart at zero).
-        if "tracker" in state:
-            mapping.tracker.restore_counters(state["tracker"])
+        if components.get("tracker") is not None:
+            mapping.tracker.restore_counters(components["tracker"])
         return mapping
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: bytes,
+        disk: Optional[DiskStore] = None,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[StoreStats] = None,
+        aux_name_prefix: str = "aux",
+    ) -> "DeepMapping":
+        """Inverse of :meth:`to_payload` (private, writable copies)."""
+        stats = stats if stats is not None else StoreStats()
+        state = cls._load_state(payload)
+        return cls._assemble(
+            cls._components_from_state(state, disk, pool, stats,
+                                       aux_name_prefix),
+            stats)
+
+    @classmethod
+    def _from_bundle(cls, bundle: Dict[str, object],
+                     stats: Optional[StoreStats] = None) -> "DeepMapping":
+        """A read-only structure over a cached component bundle.
+
+        Every heavy artifact — session, compiled engine, auxiliary
+        partitions, existence vector, decode map — is *shared* with any
+        other store wrapping the same bundle; only per-instance state
+        (stats sink, tracker, executor) is fresh.  Safe because the
+        returned structure refuses mutations (``writable=False``) and
+        all shared read paths are thread-safe.
+        """
+        mapping = cls._assemble(bundle, stats)
+        mapping.writable = False
+        mapping._compiled = bundle.get("compiled")
+        # Pin the bundle (and through it any mmap view backing its
+        # arrays) for this structure's lifetime, independent of cache
+        # eviction.
+        mapping._shared_bundle = bundle
+        return mapping
+
+    @classmethod
+    def _open_shared(
+        cls,
+        backend,
+        blob: str,
+        stats: Optional[StoreStats] = None,
+        pool: Optional[BufferPool] = None,
+        aux_name_prefix: str = "aux",
+    ) -> "DeepMapping":
+        """Read-only open through the process-wide payload cache.
+
+        Cold path: the payload is read as a zero-copy view (mmap'd on
+        ``file://`` backends), deserialized once, its auxiliary
+        partitions built and its lookup kernel compiled, and the whole
+        bundle cached under the blob's version stamp.  Warm path: the
+        cached bundle is wrapped directly — no I/O, no deserialization,
+        no aux rebuild, no recompile.
+        """
+        def loader():
+            view = read_blob_view(backend, blob)
+            state = cls._load_state(view, zero_copy=True)
+            bundle = cls._components_from_state(
+                state, None, pool, StoreStats(), aux_name_prefix)
+            # Hold the payload view explicitly: zero-copy arrays
+            # reference it, and the bundle must outlive any of them.
+            bundle["payload_view"] = view
+            bundle["compiled"] = (
+                CompiledSession(bundle["session"], bundle["key_encoder"])
+                if getattr(bundle["config"], "compiled_lookup", True)
+                else None)
+            return bundle, view.nbytes
+        bundle = payload_cache().get(backend, blob, loader)
+        return cls._from_bundle(bundle, stats=stats)
 
     @classmethod
     def open(
@@ -806,14 +1088,24 @@ class DeepMapping:
         pool: Optional[BufferPool] = None,
         stats: Optional[StoreStats] = None,
         aux_name_prefix: str = "aux",
+        writable: bool = True,
     ) -> "DeepMapping":
         """Inverse of :meth:`save`: open a payload by path or URL.
 
-        Prefer :func:`repro.open`, which also auto-detects sharded
-        stores; this is the monolithic-only loader beneath it.
+        ``writable=False`` opens a read-only structure through the
+        process-wide payload cache: payload arrays come up as zero-copy
+        (mmap-backed on local directories) views, repeated opens of the
+        same unchanged blob share one deserialized bundle, and mutating
+        calls raise ``PermissionError``.  Prefer :func:`repro.open`,
+        which also auto-detects sharded stores; this is the
+        monolithic-only loader beneath it.
         """
         backend, blob = resolve_blob_url(str(target), create=False)
         try:
+            if not writable:
+                return cls._open_shared(backend, blob, stats=stats,
+                                        pool=pool,
+                                        aux_name_prefix=aux_name_prefix)
             payload = backend.read_bytes(blob)
         except KeyError:
             raise FileNotFoundError(f"no DeepMapping payload at "
@@ -847,6 +1139,12 @@ class DeepMapping:
     # ------------------------------------------------------------------
     # Input normalization
     # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if not self.writable:
+            raise PermissionError(
+                "this store was opened writable=False (shared, read-only "
+                "components); reopen with repro.open(url) to mutate it")
+
     def _normalize_keys(self, keys: KeysLike) -> Dict[str, np.ndarray]:
         return normalize_keys(keys, self.key_names)
 

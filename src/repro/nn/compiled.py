@@ -31,7 +31,12 @@ allows:
 
 The compiled kernel consumes *flat integer keys* (the output of
 :meth:`~repro.data.encoding.CompositeKeyCodec.flatten`), not encoded
-feature vectors.  Parity with the reference path holds at the level of
+feature vectors.  At query time the staged read path
+(:class:`~repro.core.deep_mapping.LookupPlan`) gates this kernel twice
+over: it runs only on keys that pass the existence mask *and* have no
+``T_aux`` override (an aux row would overwrite the prediction anyway),
+so on negative-heavy or high-churn batches most of the inference cost
+never happens.  Parity with the reference path holds at the level of
 predicted label codes (argmax), which is what the lookup algorithm
 consumes; pre-summing group tables can shift float32 logits by an ulp —
 enough to flip a near-tie argmax — so a structure built for compiled
@@ -214,8 +219,14 @@ class CompiledSession:
             gidx = local.gidx[:n]
             tmp = local.slots[layer.slot + "/tmp"][:n]
             for j, (table, shift, radix) in enumerate(layer.groups):
-                np.floor_divide(keys, shift, out=gidx)
-                np.remainder(gidx, radix, out=gidx)
+                if shift == 1:
+                    # The least-significant group of every base: the
+                    # divide is the identity, so skip one full 64-bit
+                    # division pass over the batch.
+                    np.remainder(keys, radix, out=gidx)
+                else:
+                    np.floor_divide(keys, shift, out=gidx)
+                    np.remainder(gidx, radix, out=gidx)
                 # mode="clip" skips bounds checking (indices are in
                 # [0, radix) by construction) — several times faster.
                 if j == 0:

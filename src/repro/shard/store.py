@@ -7,21 +7,30 @@ them one facade with the same surface (``lookup`` / ``lookup_one`` /
 ``size_report``), so existing layers — :func:`repro.core.query.select`,
 the CLI, the bench harness — work over it transparently.
 
-Batched lookups are executed in three vectorized stages:
+Batched lookups run through a pipelined, vectorized read path:
 
-1. **route** — the :mod:`~repro.shard.router` assigns every query key a
-   shard ordinal with NumPy array arithmetic (no per-key Python loops);
-2. **fan out** — one stable argsort groups keys by shard; each owning
-   shard runs its normal batched lookup — through its own compiled
-   fused kernel (:class:`~repro.nn.compiled.CompiledSession`, built
-   eagerly at fit/load time) — on the store's pluggable
+1. **route + sort** — the :mod:`~repro.shard.router` assigns every query
+   key a shard ordinal with NumPy array arithmetic, and one sort puts
+   the batch in (shard, key) order: shard groups come out contiguous
+   *and* pre-sorted, so no downstream stage (notably the aux partition
+   probe) ever sorts again;
+2. **staged fan out** — each owning shard runs a
+   :class:`~repro.core.deep_mapping.LookupPlan` (existence gate,
+   ``T_aux`` probe, aux-gated fused inference through its
+   :class:`~repro.nn.compiled.CompiledSession`, decode) as its own job
+   on the store's pluggable
    :class:`~repro.store.executors.ExecutorStrategy` (serial, thread
    pool, or free-threading aware; NumPy kernels release the GIL, so
-   shards overlap on multi-core hosts).  :meth:`lookup_async` schedules
-   the whole batch on the same strategy and returns a future;
-3. **merge** — per-shard results are concatenated in group order and the
-   inverse permutation restores the caller's input order; keys owned by an
-   empty shard (or matching no row) are reported as per-key misses.
+   shard *i* can run inference while shard *j* decompresses aux
+   partitions).  :meth:`lookup_async` schedules the whole batch on the
+   same strategy and returns a future;
+3. **streaming assembly** — every job scatters its finished segment
+   straight into preallocated output arrays (disjoint positions), so
+   there is no serial concatenate-and-permute merge behind a barrier;
+   keys owned by an empty shard (or matching no row) are reported as
+   per-key misses.  :meth:`lookup_barrier` keeps the pre-pipeline
+   map/merge path as the serial reference — bit-identical by the parity
+   suite, tracked for speedup by ``benchmarks/bench_pipeline.py``.
 
 Modifications route the same way: each row is applied to the owning
 shard's auxiliary table, and an insert that targets an empty shard
@@ -61,6 +70,7 @@ from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
 from ..data.table import ColumnTable
 from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
 from ..storage.backends import StorageBackend, backend_for_url
+from ..storage.blob_cache import payload_cache
 from ..storage.buffer_pool import BufferPool
 from ..storage.stats import StoreStats
 from ..store.executors import ExecutorStrategy, make_executor
@@ -171,6 +181,10 @@ class ShardedDeepMapping:
             else make_executor(sharding.executor,
                                sharding.effective_workers()))
         self._owns_executor = self.executor is not sharding.executor
+        #: False for stores opened via ``repro.open(..., writable=False)``:
+        #: shard components may be shared with other opens of the same
+        #: blobs, so every mutating entry point refuses.
+        self.writable = True
         #: Monotonic source of aux-partition prefixes: splits and merges
         #: materialize shards at shifting ordinals, so prefixes are issued
         #: from a counter instead of being derived from the ordinal.
@@ -332,7 +346,22 @@ class ShardedDeepMapping:
     # Lookup
     # ------------------------------------------------------------------
     def lookup(self, keys: KeysLike) -> LookupResult:
-        """Batched exact-match lookup across shards, input order preserved."""
+        """Batched exact-match lookup across shards, input order preserved.
+
+        The pipelined read path: the route stage sorts the batch **by
+        key within shard groups** once (so every shard receives its
+        segment pre-sorted and no later stage ever sorts again), each
+        shard then runs a staged
+        :class:`~repro.core.deep_mapping.LookupPlan` — existence gate,
+        ``T_aux`` probe, aux-gated fused inference, decode — as its own
+        job on the executor strategy, and finished segments stream
+        straight into the preallocated output arrays (shard *i* can be
+        decompressing aux partitions while shard *j* runs inference;
+        there is no serial merge behind a barrier).  Results are
+        bit-identical to :meth:`lookup_barrier`, the pre-pipeline
+        reference path, which remains available for comparison and for
+        executor strategies without a per-job fan-out lane.
+        """
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
         # One topology snapshot for the whole batch: route, fan-out and
@@ -349,6 +378,118 @@ class ShardedDeepMapping:
             )
         if router.n_shards == 1 and shards[0] is not None:
             # Single shard: no routing or merging to do.
+            return shards[0].lookup(key_cols)
+        submit_job = getattr(self.executor, "submit_job", None)
+        if submit_job is None:
+            # Custom strategy without a fan-out job lane: barrier path.
+            return self.lookup_barrier(key_cols)
+
+        with self.stats.timing("route"):
+            order, bounds, grouped = self._sorted_route(router, key_cols, n)
+
+        jobs: List[Tuple[DeepMapping, Dict[str, np.ndarray], np.ndarray]] = []
+        segment_dtypes: Dict[str, List[np.dtype]] = \
+            {c: [] for c in self.value_names}
+        for ordinal in range(router.n_shards):
+            start, stop = int(bounds[ordinal]), int(bounds[ordinal + 1])
+            if stop <= start:
+                continue
+            shard = shards[ordinal]
+            if shard is None:
+                # Misses by definition; the preallocated outputs already
+                # read as misses, but the segment still participates in
+                # dtype promotion exactly as its placeholder array would
+                # have in the barrier merge's concatenate.
+                for c in self.value_names:
+                    segment_dtypes[c].append(self._placeholder(c, 0).dtype)
+                continue
+            for c in self.value_names:
+                segment_dtypes[c].append(
+                    shard.fdecode.encoders[c].vocab.dtype)
+            segment = {name: arr[start:stop] for name, arr in grouped.items()}
+            jobs.append((shard, segment, order[start:stop]))
+
+        found_out = np.zeros(n, dtype=bool)
+        values_out = {}
+        for c in self.value_names:
+            dtype = (np.result_type(*segment_dtypes[c])
+                     if segment_dtypes[c] else self._placeholder(c, 0).dtype)
+            values_out[c] = (np.full(n, None, dtype=object)
+                             if dtype == object else np.zeros(n, dtype=dtype))
+
+        def run_job(job) -> None:
+            shard, segment, dest = job
+            plan = shard.plan_lookup(segment, presorted=True)
+            plan.execute_into(found_out, values_out, dest)
+
+        if len(jobs) <= 1:
+            for job in jobs:
+                run_job(job)
+        else:
+            futures = [submit_job(run_job, job) for job in jobs]
+            for future in futures:
+                future.result()
+        return LookupResult(found=found_out, values=values_out)
+
+    def _sorted_route(
+        self, router: ShardRouter, key_cols: Dict[str, np.ndarray], n: int,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+        """Route + sort the batch in one pass for the pipelined fan-out.
+
+        Returns ``(order, bounds, grouped)`` where ``order`` permutes the
+        batch into (shard, key...) order — shard groups are contiguous
+        *and* each group is ascending in flattened-key order, so every
+        shard's aux probe rides the partition store's monotonic fast
+        path — ``bounds[s]:bounds[s+1]`` delimits shard ``s``'s group,
+        and ``grouped`` holds the key columns permuted by ``order``.
+        """
+        cols = [np.asarray(key_cols[name]) for name in self.key_names]
+        if isinstance(router, RangeShardRouter) and len(cols) == 1:
+            # Range routing on a single key: shard ordinal is monotone in
+            # the key, so one plain sort both groups and orders, and the
+            # group boundaries are the cuts' positions in the sorted keys.
+            leading = cols[0].astype(np.int64, copy=False)
+            order = np.argsort(leading)
+            sorted_leading = leading[order]
+            bounds = np.empty(router.n_shards + 1, dtype=np.int64)
+            bounds[0] = 0
+            bounds[-1] = n
+            if router.cuts.size:
+                bounds[1:-1] = np.searchsorted(sorted_leading, router.cuts,
+                                               side="left")
+            grouped = {self.key_names[0]: sorted_leading}
+            return order, bounds, grouped
+        shard_ids = router.route(key_cols)
+        # lexsort: last key is primary — shard first, then key columns in
+        # significance order, which is exactly ascending flattened-key
+        # order inside each shard (the codec is lexicographic).
+        order = np.lexsort(tuple(np.asarray(c, dtype=np.int64)
+                                 for c in reversed(cols)) + (shard_ids,))
+        bounds = np.searchsorted(shard_ids[order],
+                                 np.arange(router.n_shards + 1))
+        grouped = {name: np.asarray(arr)[order]
+                   for name, arr in key_cols.items()}
+        return order, bounds, grouped
+
+    def lookup_barrier(self, keys: KeysLike) -> LookupResult:
+        """The pre-pipeline read path, kept as the serial reference.
+
+        Routes with a stable sort by shard ordinal only, fans complete
+        per-shard lookups out with one barrier, then concatenates and
+        inverse-permutes the results.  `benchmarks/bench_pipeline.py`
+        tracks :meth:`lookup`'s speedup over this baseline, and the
+        parity suite asserts the two stay bit-identical; it also serves
+        executor strategies that lack the ``submit_job`` fan-out lane.
+        """
+        key_cols = self._normalize_keys(keys)
+        n = int(np.asarray(key_cols[self.key_names[0]]).size)
+        router, shards = self._topology
+        if n == 0:
+            return LookupResult(
+                found=np.zeros(0, dtype=bool),
+                values={c: self._placeholder(c, 0) for c in self.value_names},
+            )
+        if router.n_shards == 1 and shards[0] is not None:
             return shards[0].lookup(key_cols)
 
         with self.stats.timing("route"):
@@ -445,6 +586,7 @@ class ShardedDeepMapping:
         strategy.  Runs under the store's single-writer mutation
         contract (a rebuild swaps shard internals non-atomically).
         """
+        self._require_writable()
         lifecycle = self.sharding.lifecycle
         per_shard_sizing = (config is None and lifecycle is not None
                             and lifecycle.per_shard_mhas)
@@ -517,6 +659,7 @@ class ShardedDeepMapping:
         duplicates before any shard is mutated: either problem raises
         ``ValueError`` and no shard changes.
         """
+        self._require_writable()
         columns = self._normalize_rows(rows)
         self._require_unique_batch_keys(columns)
         groups = list(self._group_rows(columns))
@@ -551,6 +694,7 @@ class ShardedDeepMapping:
 
     def delete(self, keys: KeysLike) -> int:
         """Delete keys from their owning shards; absent keys are ignored."""
+        self._require_writable()
         key_cols = self._normalize_keys(keys)
         deleted = 0
         for ordinal, rows_idx in self._group_rows(key_cols):
@@ -569,6 +713,7 @@ class ShardedDeepMapping:
         ``KeyError`` is raised and no shard is mutated (matching the
         monolithic all-or-nothing contract).
         """
+        self._require_writable()
         columns = self._normalize_rows(rows)
         groups = list(self._group_rows(columns))
         missing = 0
@@ -588,6 +733,12 @@ class ShardedDeepMapping:
                 {name: arr[rows_idx] for name, arr in columns.items()})
         self._maintain()
         return landed
+
+    def _require_writable(self) -> None:
+        if not self.writable:
+            raise PermissionError(
+                "this store was opened writable=False (shared, read-only "
+                "shard components); reopen with repro.open(url) to mutate it")
 
     def _require_unique_batch_keys(self, columns: Dict[str, np.ndarray]) -> None:
         """Reject mutation batches that repeat a key.
@@ -683,6 +834,7 @@ class ShardedDeepMapping:
         dropped.  Runs under the store's single-writer mutation contract.
         Returns the cut used.
         """
+        self._require_writable()
         router = self._require_range_router()
         shard = self.shards[ordinal]
         if shard is None:
@@ -751,6 +903,7 @@ class ShardedDeepMapping:
         aux partitions are dropped.  Runs under the store's single-writer
         mutation contract.
         """
+        self._require_writable()
         router = self._require_range_router()
         if not 0 <= ordinal < router.n_shards - 1:
             raise ValueError(
@@ -874,6 +1027,10 @@ class ShardedDeepMapping:
             if (name.startswith("shard-") and name.endswith(".dm")
                     and name not in referenced):
                 backend.delete(name)
+        # Every blob under this container may have changed (including
+        # deletions after a lifecycle split/merge); retire all cached
+        # read-only bundles for it at once.
+        payload_cache().invalidate_backend(backend)
         return total
 
     @classmethod
@@ -884,6 +1041,7 @@ class ShardedDeepMapping:
         max_workers: Optional[int] = None,
         pool_budget_bytes: Optional[int] = None,
         executor: Union[str, ExecutorStrategy, None] = None,
+        writable: bool = True,
     ) -> "ShardedDeepMapping":
         """Inverse of :meth:`save`; ``target`` as there.
 
@@ -892,6 +1050,15 @@ class ShardedDeepMapping:
         small one, or force serial fan-out).  All shards' auxiliary
         partitions share one
         :class:`~repro.storage.buffer_pool.BufferPool` under the budget.
+
+        ``writable=False`` opens every shard read-only through the
+        process-wide payload cache: payload arrays are zero-copy views
+        (mmap-backed on local directories), repeated opens of unchanged
+        blobs share one deserialized bundle per shard (including its
+        compiled lookup kernel and built aux partitions), and mutating
+        calls raise ``PermissionError``.  Cached shards keep the buffer
+        pool of their *first* (cold) open, so ``pool_budget_bytes``
+        overrides only apply to shards loaded cold.
         """
         backend = (backend_for_url(target, create=False)
                    if isinstance(target, str) else target)
@@ -922,6 +1089,12 @@ class ShardedDeepMapping:
             if entry.file is None:
                 shards.append(None)
                 continue
+            if not writable:
+                shards.append(DeepMapping._open_shared(
+                    backend, entry.file, stats=stats, pool=pool,
+                    aux_name_prefix=_aux_prefix(ordinal),
+                ))
+                continue
             with stats.timing("io"):
                 payload = backend.read_bytes(entry.file)
             shards.append(DeepMapping.from_payload(
@@ -933,6 +1106,7 @@ class ShardedDeepMapping:
         store = cls(router, shards, config, sharding,
                     value_names=tuple(manifest.value_names),
                     value_dtypes=value_dtypes, stats=stats, pool=pool)
+        store.writable = writable
         if store.engine is not None and "counters" in manifest.lifecycle:
             store.engine.restore_counters(manifest.lifecycle["counters"])
         store.compile_engines()

@@ -4,10 +4,13 @@ These are the building blocks under both the DeepMapping hybrid structure
 and every baseline in the paper's evaluation.
 """
 
+from . import zerocopy
 from .backends import (MONOLITHIC_BLOB, URL_SCHEMES, InMemoryBackend,
                        LocalDirBackend, StorageBackend, ZipBackend,
-                       backend_for_url, parse_url, resolve_blob_url)
+                       backend_for_url, backend_identity, blob_version,
+                       parse_url, read_blob_view, resolve_blob_url)
 from .bitvector import BitVector
+from .blob_cache import BlobCache, configure_payload_cache, payload_cache
 from .buffer_pool import BufferPool, MemoryBudgetError
 from .codecs import (
     Codec,
@@ -39,11 +42,18 @@ __all__ = [
     "backend_for_url",
     "resolve_blob_url",
     "parse_url",
+    "read_blob_view",
+    "blob_version",
+    "backend_identity",
     "URL_SCHEMES",
     "MONOLITHIC_BLOB",
     "BitVector",
+    "BlobCache",
+    "payload_cache",
+    "configure_payload_cache",
     "BufferPool",
     "MemoryBudgetError",
+    "zerocopy",
     "Codec",
     "IdentityCodec",
     "GzipCodec",

@@ -27,6 +27,7 @@ URL scheme selects the backend: ``file://`` (or a bare path),
 from __future__ import annotations
 
 import io
+import mmap
 import os
 import re
 import tempfile
@@ -44,6 +45,9 @@ __all__ = [
     "parse_url",
     "backend_for_url",
     "resolve_blob_url",
+    "read_blob_view",
+    "blob_version",
+    "backend_identity",
 ]
 
 #: URL schemes the library accepts, in the order error messages list them.
@@ -105,10 +109,13 @@ class LocalDirBackend:
 
     scheme = "file"
 
-    def __init__(self, root: str, create: bool = True):
-        if create:
+    def __init__(self, root: str, create: bool = True, writable: bool = True):
+        if create and writable:
             os.makedirs(root, exist_ok=True)
         self.root = root
+        #: When False, :meth:`write_bytes` / :meth:`delete` refuse — the
+        #: backend is a read-only view suitable for mmap'd shared opens.
+        self.writable = writable
 
     @property
     def url(self) -> str:
@@ -124,7 +131,51 @@ class LocalDirBackend:
         except FileNotFoundError:
             raise KeyError(f"no blob named {name!r} in {self.root}") from None
 
+    def read_view(self, name: str) -> memoryview:
+        """Read-only memoryview of blob ``name`` over mmap'd pages.
+
+        Zero heap copy: the view (and any ``np.frombuffer`` array built
+        over it) shares the page cache with every other mapping of the
+        file.  The underlying mmap stays alive as long as any view into
+        it does (ordinary refcounting), and because writes go through
+        ``os.replace``, a concurrent re-save leaves existing mappings
+        pointing at the old inode — views never observe torn content.
+        That guarantee is POSIX semantics: on Windows, replacing a file
+        that holds a live mapping raises a sharing-violation error
+        instead (the save fails loudly while any view is alive; readers
+        are never corrupted either way).  Empty blobs fall back to an
+        (empty) bytes view, since zero-length mmaps are not portable.
+        """
+        path = self._path(name)
+        try:
+            with open(path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size == 0:
+                    return memoryview(b"")
+                mapped = mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            raise KeyError(f"no blob named {name!r} in {self.root}") from None
+        return memoryview(mapped)
+
+    def blob_version(self, name: str):
+        """Change stamp of blob ``name`` (None when absent): a new stamp
+        means the content may differ.  ``os.replace`` rewrites always
+        change the inode, so the stamp is robust to sub-ns timestamps."""
+        try:
+            st = os.stat(self._path(name))
+        except (FileNotFoundError, ValueError):
+            return None
+        return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+    def _check_writable(self) -> None:
+        if not self.writable:
+            raise PermissionError(
+                f"backend {self.url} was opened writable=False; "
+                "reopen without writable=False to mutate it")
+
     def write_bytes(self, name: str, payload: bytes) -> int:
+        self._check_writable()
         path = self._path(name)
         fd, tmp_path = tempfile.mkstemp(prefix=name + ".", suffix=".tmp",
                                         dir=self.root)
@@ -157,13 +208,15 @@ class LocalDirBackend:
         return os.path.isfile(self._path(name))
 
     def delete(self, name: str) -> None:
+        self._check_writable()
         try:
             os.remove(self._path(name))
         except FileNotFoundError:
             pass
 
     def __repr__(self) -> str:
-        return f"LocalDirBackend({self.root!r})"
+        mode = "" if self.writable else ", writable=False"
+        return f"LocalDirBackend({self.root!r}{mode})"
 
 
 class InMemoryBackend:
@@ -182,6 +235,10 @@ class InMemoryBackend:
     def __init__(self, name: Optional[str] = None):
         self.name = name
         self._blobs: Dict[str, bytes] = {}
+        #: Monotonic per-blob write counters (the mem:// "etag"): a dict
+        #: has no mtime, so cache layers key freshness on these instead.
+        self._versions: Dict[str, int] = {}
+        self._write_seq = 0
         self._lock = threading.Lock()
 
     @classmethod
@@ -212,10 +269,21 @@ class InMemoryBackend:
                 raise KeyError(f"no blob named {name!r} in {self.url}") \
                     from None
 
+    def read_view(self, name: str) -> memoryview:
+        """Read-only view of the stored bytes (already zero-copy)."""
+        return memoryview(self.read_bytes(name))
+
+    def blob_version(self, name: str):
+        """Write counter of blob ``name`` (None when absent)."""
+        with self._lock:
+            return self._versions.get(_check_name(name))
+
     def write_bytes(self, name: str, payload: bytes) -> int:
         payload = bytes(payload)
         with self._lock:
+            self._write_seq += 1
             self._blobs[_check_name(name)] = payload
+            self._versions[name] = self._write_seq
         return len(payload)
 
     def list(self) -> List[str]:
@@ -229,6 +297,7 @@ class InMemoryBackend:
     def delete(self, name: str) -> None:
         with self._lock:
             self._blobs.pop(_check_name(name), None)
+            self._versions.pop(name, None)
 
     def __repr__(self) -> str:
         return f"InMemoryBackend(name={self.name!r}, blobs={len(self._blobs)})"
@@ -348,6 +417,18 @@ class ZipBackend:
                 raise KeyError(f"no blob named {name!r} in {self.path}") \
                     from None
 
+    def read_view(self, name: str) -> memoryview:
+        """Read-only view of the decompressed cached bytes."""
+        return memoryview(self.read_bytes(name))
+
+    def blob_version(self, name: str):
+        """Archive stamp (None when the blob is absent): the zip is
+        rewritten whole, so any mutation moves every blob's version."""
+        with self._lock:
+            if _check_name(name) not in self._loaded():
+                return None
+            return self._stamp
+
     def write_bytes(self, name: str, payload: bytes) -> int:
         payload = bytes(payload)
         with self._lock:
@@ -400,6 +481,49 @@ class _ZipBatch:
                     # reader reloads the untouched on-disk archive.
                     backend._blobs = None
                     backend._stamp = None
+
+
+# ---------------------------------------------------------------------------
+# Capability helpers (duck-typed so third-party backends keep working)
+# ---------------------------------------------------------------------------
+def read_blob_view(backend: StorageBackend, name: str) -> memoryview:
+    """Blob ``name`` as a read-only buffer, zero-copy when the backend
+    supports it (``read_view``), otherwise a view over ``read_bytes``.
+
+    ``read_view`` is a capability, not part of the :class:`StorageBackend`
+    protocol — backends that only implement the five core operations are
+    still fully functional, they just pay one heap copy per read.
+    """
+    reader = getattr(backend, "read_view", None)
+    if reader is not None:
+        return reader(name)
+    return memoryview(backend.read_bytes(name))
+
+
+def blob_version(backend: StorageBackend, name: str):
+    """Freshness stamp of ``(backend, name)`` or None when unknowable.
+
+    None means either the blob is absent or the backend offers no version
+    capability; cache layers must treat both as "do not cache".
+    """
+    versioner = getattr(backend, "blob_version", None)
+    if versioner is None:
+        return None
+    return versioner(name)
+
+
+def backend_identity(backend: StorageBackend) -> str:
+    """Stable cache identity of a backend.
+
+    The ``url`` property identifies a *location* (two backends over the
+    same directory / registry name / archive share it, which is exactly
+    what a cross-open cache wants); backends without one fall back to
+    object identity, making their entries private to the instance.
+    """
+    url = getattr(backend, "url", None)
+    if isinstance(url, str):
+        return url
+    return f"pyid:{id(backend):x}"
 
 
 # ---------------------------------------------------------------------------

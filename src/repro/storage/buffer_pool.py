@@ -28,18 +28,34 @@ class MemoryBudgetError(MemoryError):
     """
 
 
+class _Fault:
+    """One in-flight load: the leader fills it, followers wait on it."""
+
+    __slots__ = ("event", "obj", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.obj = None
+        self.error = None
+
+
 class BufferPool:
     """Byte-budgeted LRU cache of deserialized partitions.
 
     The pool is thread-safe: the sharded store fans per-shard lookups out
     on a thread pool while all shards share one pool, so bookkeeping is
     guarded by a lock.  Loaders run *outside* the lock (they do disk I/O
-    and decompression); two threads missing on the same key may both
-    load — the first insert wins and the loser returns its private copy
-    uncached.  A load that straddles an ``invalidate()``/``clear()`` is
-    likewise returned but never cached (generation check), so a rebuild
-    that retires blob names cannot have stale content resurrected by an
-    in-flight loader.
+    and decompression), and faults are **deduplicated per key**: when
+    several threads miss on the same partition at once, exactly one runs
+    ``loader()`` while the rest wait on the in-flight fault and receive
+    its object (counted under ``pool_waits``) — without this, the sharded
+    fan-out decompresses the same partition once per caller (the classic
+    thundering herd).  If the leading loader raises, each waiter retries
+    from scratch (one of them becomes the next leader), so per-caller
+    error semantics match the un-deduplicated pool.  A load that
+    straddles an ``invalidate()``/``clear()`` is returned to its callers
+    but never cached (generation check), so a rebuild that retires blob
+    names cannot have stale content resurrected by an in-flight loader.
 
     Parameters
     ----------
@@ -48,6 +64,7 @@ class BufferPool:
         (the paper's "dataset fits memory" configurations).
     stats:
         Optional stats sink.  Counters: ``pool_hits``, ``pool_misses``,
+        ``pool_waits`` (deduplicated concurrent faults) and
         ``pool_evictions``.  The loader itself should record its own
         ``io`` / ``decompress`` / ``deserialize`` timers.
     strict:
@@ -70,6 +87,9 @@ class BufferPool:
         self._used_bytes = 0
         self.peak_bytes = 0
         self._lock = threading.Lock()
+        # In-flight faults, one per key: followers wait on the leader's
+        # event instead of re-running the loader (see class docstring).
+        self._faults: dict = {}
         # Bumped by invalidate()/clear(); a load that straddles a bump is
         # returned to its caller but never cached (it may be stale: rebuilds
         # replace blob content under reused names).
@@ -93,32 +113,66 @@ class BufferPool:
 
         ``loader`` must return ``(object, size_bytes)``.  On a miss the
         loaded object is inserted and LRU entries are evicted until the
-        budget holds.  Objects larger than the entire budget are returned
-        uncached (or raise, under ``strict``), mirroring a scan that streams
-        through memory without being retainable.
+        budget holds.  Concurrent misses on one key run ``loader()``
+        once: the first thread leads, the rest wait and share its result
+        (``pool_waits``).  Objects larger than the entire budget are
+        returned uncached (or raise, under ``strict``), mirroring a scan
+        that streams through memory without being retainable.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.stats.bump("pool_hits")
-                return entry[0]
-            self.stats.bump("pool_misses")
-            generation = self._generation
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.bump("pool_hits")
+                    return entry[0]
+                fault = self._faults.get(key)
+                if fault is None:
+                    fault = _Fault()
+                    self._faults[key] = fault
+                    generation = self._generation
+                    self.stats.bump("pool_misses")
+                    break
+                self.stats.bump("pool_waits")
+            fault.event.wait()
+            if fault.error is None:
+                return fault.obj
+            # The leader's loader failed; retry from scratch — this
+            # follower (or another) becomes the next leader and raises
+            # its own error, preserving per-caller failure semantics.
 
-        obj, size = loader()  # deliberately outside the lock (I/O-heavy)
-        size = int(size)
-        if self.budget_bytes is not None and size > self.budget_bytes:
-            if self.strict:
+        try:
+            obj, size = loader()  # deliberately outside the lock (I/O-heavy)
+            size = int(size)
+            if self.budget_bytes is not None and size > self.budget_bytes \
+                    and self.strict:
                 raise MemoryBudgetError(
                     f"object of {size} bytes exceeds pool budget "
                     f"of {self.budget_bytes} bytes"
                 )
-            return obj
+        except BaseException as exc:
+            fault.error = exc
+            with self._lock:
+                self._pop_fault(key, fault)
+            fault.event.set()
+            raise
+
         with self._lock:
-            if key not in self._entries and generation == self._generation:
+            if (key not in self._entries and generation == self._generation
+                    and (self.budget_bytes is None
+                         or size <= self.budget_bytes)):
                 self._insert(key, obj, size)
+            self._pop_fault(key, fault)
+            fault.obj = obj
+            fault.event.set()
         return obj
+
+    def _pop_fault(self, key: Hashable, fault: "_Fault") -> None:
+        """Retire ``fault`` if it is still the registered one (an
+        invalidation may have detached it and a successor taken the
+        slot; the successor must not be evicted by the old leader)."""
+        if self._faults.get(key) is fault:
+            del self._faults[key]
 
     def put(self, key: Hashable, obj: Any, size: int) -> None:
         """Insert (or replace) an entry directly."""
@@ -143,12 +197,19 @@ class BufferPool:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._used_bytes -= entry[1]
+        # Detach any in-flight fault: a getter arriving *after* this
+        # invalidation must lead a fresh load, not adopt the retired
+        # content the detached leader is still producing.  (Callers that
+        # joined the fault before the invalidation get that content,
+        # exactly like a pre-dedup loader that straddled the bump.)
+        self._faults.pop(key, None)
 
     def clear(self) -> None:
         """Drop every cached entry."""
         with self._lock:
             self._generation += 1
             self._entries.clear()
+            self._faults.clear()
             self._used_bytes = 0
 
     def cached_keys(self):

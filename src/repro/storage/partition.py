@@ -245,7 +245,11 @@ class SortedPartitionStore:
 
         Query keys are processed in sorted order so each partition is
         faulted in and decompressed at most once per batch (paper
-        Sec. IV-B2).
+        Sec. IV-B2).  Batches that *arrive* sorted — one vectorized
+        monotonicity check — skip the argsort entirely; callers that
+        already hold the keys in sorted order (the staged lookup plan,
+        the sharded route stage) ride this fast path and never pay a
+        second sort.
         """
         keys = np.asarray(keys, dtype=np.int64)
         found = np.zeros(keys.size, dtype=bool)
@@ -253,21 +257,36 @@ class SortedPartitionStore:
         if keys.size == 0 or not self._metas:
             return found, values
 
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
+        if keys.size < 2 or np.all(keys[1:] >= keys[:-1]):
+            order = None  # already sorted: identity order
+            sorted_keys = keys
+        else:
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
         pids = self.locate(sorted_keys)
 
-        for pid in np.unique(pids):
+        # ``pids`` is non-decreasing apart from -1 markers (keys are
+        # sorted and partitions are disjoint ascending ranges), so equal
+        # pids form contiguous runs — iterate runs instead of scanning a
+        # ``pids == pid`` mask per partition.
+        boundaries = np.flatnonzero(pids[1:] != pids[:-1]) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [pids.size]])
+        for start, stop in zip(starts, stops):
+            pid = int(pids[start])
             if pid < 0:
                 continue
-            mask = pids == pid
-            block = self.load_partition(int(pid))
+            block = self.load_partition(pid)
             part_keys = block["keys"]
+            run = sorted_keys[start:stop]
             with self.stats.timing("search"):
-                pos = np.searchsorted(part_keys, sorted_keys[mask])
+                pos = np.searchsorted(part_keys, run)
                 pos = np.minimum(pos, part_keys.size - 1)
-                hit = part_keys[pos] == sorted_keys[mask]
-            rows = order[mask][hit]
+                hit = part_keys[pos] == run
+            if order is None:
+                rows = np.flatnonzero(hit) + start
+            else:
+                rows = order[start:stop][hit]
             found[rows] = True
             for name in self._columns:
                 values[name][rows] = block[name][pos[hit]]

@@ -1,0 +1,142 @@
+"""Zero-copy payload container: pickle protocol 5 with out-of-band buffers.
+
+A classic pickle inlines every array's bytes into the stream, so loading
+always copies them onto the heap.  This module packs an object graph into
+a small framed container instead:
+
+``MAGIC | n_buffers | head_len | (offset, length) x n | head | buffers``
+
+The *head* is the protocol-5 pickle of the object with every contiguous
+array exported through ``buffer_callback``; the buffers follow, each
+aligned to 64 bytes.  :func:`unpack` rebuilds the object by handing
+``pickle.loads`` memoryview slices of the container — with
+``zero_copy=True`` over an mmap'd file, NumPy reconstructs those arrays
+as ``np.frombuffer`` views over the shared pages: no per-open copy, and
+concurrent opens of the same store share physical memory.  Views built
+from a read-only buffer come back with ``writeable=False``, which is
+exactly the contract of a ``repro.open(..., writable=False)`` store.
+
+With ``zero_copy=False`` (the default) each buffer is materialized as a
+private ``bytearray`` first, so the loaded arrays are ordinary writable
+copies — the copy fallback mutating stores need.
+
+The format is self-describing: :func:`is_packed` sniffs the magic, so
+readers can fall back to plain ``pickle.loads`` for payloads written
+before this container existed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List
+
+__all__ = ["pack", "unpack", "is_packed", "MAGIC"]
+
+#: Container signature.  Deliberately not a valid pickle opcode sequence,
+#: so feeding a packed payload to a legacy ``pickle.loads`` fails loudly.
+MAGIC = b"RZC1\x00\xff"
+
+#: Buffer segments start on this alignment so reconstructed views are
+#: friendly to vectorized loads whatever their dtype.
+_ALIGN = 64
+
+_HEADER = struct.Struct("<QQ")  # n_buffers, head_len
+_SLOT = struct.Struct("<QQ")    # absolute offset, length
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack(obj: Any) -> bytearray:
+    """Serialize ``obj`` into the zero-copy container format.
+
+    Returns the assembled buffer as a ``bytearray`` (every backend write
+    path accepts any buffer; copying to ``bytes`` would transiently
+    double peak memory for large payloads).
+    """
+    picklebuffers: List[pickle.PickleBuffer] = []
+    head = pickle.dumps(obj, protocol=5,
+                        buffer_callback=picklebuffers.append)
+    raws: List[memoryview] = []
+    for pb in picklebuffers:
+        try:
+            raw = pb.raw()
+        except BufferError:
+            # Non-contiguous exports cannot be viewed flat; snapshot them.
+            raw = memoryview(memoryview(pb).tobytes())
+        raws.append(raw.cast("B"))
+
+    index_size = len(MAGIC) + _HEADER.size + _SLOT.size * len(raws)
+    offset = _aligned(index_size + len(head))
+    slots = []
+    for raw in raws:
+        slots.append((offset, raw.nbytes))
+        offset = _aligned(offset + raw.nbytes)
+
+    # Assembled once in a bytearray and returned as-is: a bytes() copy
+    # here would transiently double peak memory for large payloads, and
+    # every consumer (backend write paths, unpack) takes any buffer.
+    out = bytearray(offset if raws else index_size + len(head))
+    pos = 0
+    out[pos:pos + len(MAGIC)] = MAGIC
+    pos += len(MAGIC)
+    _HEADER.pack_into(out, pos, len(raws), len(head))
+    pos += _HEADER.size
+    for start, length in slots:
+        _SLOT.pack_into(out, pos, start, length)
+        pos += _SLOT.size
+    out[pos:pos + len(head)] = head
+    for raw, (start, length) in zip(raws, slots):
+        out[start:start + length] = raw
+    return out
+
+
+def is_packed(payload) -> bool:
+    """True when ``payload`` starts with the container magic."""
+    view = memoryview(payload)
+    return view.nbytes >= len(MAGIC) and bytes(view[:len(MAGIC)]) == MAGIC
+
+
+def unpack(payload, zero_copy: bool = False) -> Any:
+    """Inverse of :func:`pack`.
+
+    ``payload`` is any buffer (bytes, memoryview, mmap view).  With
+    ``zero_copy=True`` the reconstructed arrays are *views into
+    payload* — the caller must keep the backing buffer alive for the
+    life of the object graph (NumPy arrays hold a reference to their
+    buffer, so ordinary refcounting does this automatically).  With
+    ``zero_copy=False`` every buffer is copied into a private, writable
+    ``bytearray`` first.
+    """
+    view = memoryview(payload).cast("B")
+    if not view.readonly:
+        # Zero-copy views must be immutable whatever the caller handed
+        # in (pack() itself returns a mutable bytearray); toreadonly()
+        # is a flag flip, not a copy.
+        view = view.toreadonly()
+    if not is_packed(view):
+        raise pickle.UnpicklingError(
+            "payload is not a zero-copy container (bad magic)")
+    pos = len(MAGIC)
+    try:
+        n_buffers, head_len = _HEADER.unpack_from(view, pos)
+        pos += _HEADER.size
+        slots = []
+        for _ in range(n_buffers):
+            slots.append(_SLOT.unpack_from(view, pos))
+            pos += _SLOT.size
+        head = view[pos:pos + head_len]
+        if head.nbytes != head_len:
+            raise ValueError("truncated container head")
+        buffers = []
+        for start, length in slots:
+            segment = view[start:start + length]
+            if segment.nbytes != length:
+                raise ValueError("truncated container buffer")
+            buffers.append(segment if zero_copy else bytearray(segment))
+    except (struct.error, ValueError) as exc:
+        raise pickle.UnpicklingError(
+            f"corrupt zero-copy container: {exc}") from None
+    return pickle.loads(head, buffers=buffers)

@@ -67,6 +67,15 @@ class ExecutorStrategy(Protocol):
         """Release any worker threads (idempotent)."""
         ...
 
+    # NOTE: the built-in strategies additionally provide
+    # ``submit_job(fn, *args) -> Future`` — a per-job handle on the
+    # *fan-out* lane (``submit`` targets the coordinator lane), used by
+    # the sharded store's pipelined lookup to stream per-shard results
+    # as they finish.  It is a capability rather than part of this
+    # protocol so pre-existing custom strategies keep satisfying
+    # ``isinstance(..., ExecutorStrategy)``; stores fall back to the
+    # barrier path when it is absent.
+
 
 class SerialStrategy:
     """Run everything inline on the calling thread."""
@@ -83,6 +92,10 @@ class SerialStrategy:
         except BaseException as exc:  # the future carries the failure
             future.set_exception(exc)
         return future
+
+    def submit_job(self, fn: Callable, *args) -> Future:
+        """Fan-out-lane job future (inline here; already resolved)."""
+        return self.submit(fn, *args)
 
     def close(self) -> None:
         pass
@@ -142,6 +155,25 @@ class ThreadPoolStrategy:
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
         return self._get_coordinator().submit(fn, *args, **kwargs)
+
+    def submit_job(self, fn: Callable, *args) -> Future:
+        """One fan-out job as a future (the pipelined-lookup lane).
+
+        Jobs land on the same pool ``map`` uses, so inference for one
+        shard overlaps aux decompression for another; with a single
+        worker the job runs inline (same short-circuit as ``map``),
+        avoiding thread ping-pong on one-core hosts.  Job functions must
+        never block on sibling futures — the sharded store's jobs
+        scatter into shared output arrays and return.
+        """
+        if self.max_workers <= 1:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+        return self._get_pool().submit(fn, *args)
 
     def close(self) -> None:
         with self._lock:

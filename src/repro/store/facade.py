@@ -93,6 +93,7 @@ def open_store(
     max_workers: Optional[int] = None,
     pool_budget_bytes: Optional[int] = None,
     executor: Union[str, ExecutorStrategy, None] = None,
+    writable: bool = True,
 ) -> DataStore:
     """Open a persisted store — monolithic or sharded — by URL or path.
 
@@ -110,6 +111,14 @@ def open_store(
         Executor strategy for fan-out and ``lookup_async`` — a name from
         :data:`repro.store.EXECUTOR_NAMES` or an
         :class:`~repro.store.executors.ExecutorStrategy` instance.
+    writable:
+        ``False`` opens the store read-only through the process-wide
+        payload cache: payload arrays come up as zero-copy views
+        (mmap-backed on local directories), repeated opens of the same
+        unchanged store skip deserialization entirely, and mutating
+        calls (``insert`` / ``delete`` / ``update`` / ``rebuild``)
+        raise ``PermissionError``.  The default keeps every component
+        private and mutable.
     """
     from ..core.deep_mapping import DeepMapping
     from ..shard.store import ShardedDeepMapping
@@ -118,11 +127,15 @@ def open_store(
     if kind == "sharded":
         return ShardedDeepMapping.load(
             backend, stats=stats, max_workers=max_workers,
-            pool_budget_bytes=pool_budget_bytes, executor=executor)
+            pool_budget_bytes=pool_budget_bytes, executor=executor,
+            writable=writable)
     if kind == "monolithic":
         try:
-            store = DeepMapping.from_payload(backend.read_bytes(blob),
-                                             stats=stats)
+            if writable:
+                store = DeepMapping.from_payload(backend.read_bytes(blob),
+                                                 stats=stats)
+            else:
+                store = DeepMapping._open_shared(backend, blob, stats=stats)
         except (pickle.UnpicklingError, EOFError):
             raise ValueError(
                 f"{url_or_path!r} exists but does not hold a DeepMapping "

@@ -1,0 +1,182 @@
+"""Pipelined read path: bit-parity with the barrier reference, all routes.
+
+`ShardedDeepMapping.lookup` (staged plans, shared sort, streaming
+scatter) must return bit-identical results to `lookup_barrier` (the
+pre-pipeline map/concat/permute path) on every router, key shape,
+executor and hit mix — including adversarial batches from hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DeepMappingConfig
+from repro.data import ColumnTable, synthetic
+from repro.shard import ShardedDeepMapping, ShardingConfig
+
+from ..core.conftest import fast_config
+
+
+def assert_same(actual, expected, value_names):
+    np.testing.assert_array_equal(actual.found, expected.found)
+    for column in value_names:
+        np.testing.assert_array_equal(actual.values[column],
+                                      expected.values[column])
+        assert actual.values[column].dtype == expected.values[column].dtype
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic.multi_column(1200, "low", seed=5)
+
+
+@pytest.fixture(scope="module", params=["range", "hash"])
+def store(request, table):
+    return ShardedDeepMapping.fit(
+        table, fast_config(epochs=4),
+        ShardingConfig(n_shards=4, strategy=request.param))
+
+
+class TestParity:
+    def test_mixed_batch(self, store, table):
+        rng = np.random.default_rng(0)
+        live = table.column("key")
+        query = {"key": np.concatenate([
+            rng.choice(live, 500),
+            rng.integers(live.min(), live.max() + 100, 500),
+        ])}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+    def test_sorted_batch_rides_fast_path(self, store, table):
+        query = {"key": np.sort(table.column("key")[:400])}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+    def test_all_miss_batch(self, store, table):
+        hi = int(table.column("key").max())
+        query = {"key": np.arange(hi + 10, hi + 210, dtype=np.int64)}
+        result = store.lookup(query)
+        assert not result.found.any()
+        assert_same(result, store.lookup_barrier(query), store.value_names)
+
+    def test_empty_batch(self, store):
+        query = {"key": np.empty(0, dtype=np.int64)}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+    def test_duplicate_keys_in_batch(self, store, table):
+        key = int(table.column("key")[3])
+        query = {"key": np.array([key, key, key + 10**7, key],
+                                 dtype=np.int64)}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_hypothesis_random_batches(self, store, table, data):
+        live = table.column("key")
+        lo, hi = int(live.min()) - 50, int(live.max()) + 50
+        keys = data.draw(st.lists(
+            st.one_of(st.sampled_from(list(live[:100])),
+                      st.integers(lo, hi)),
+            min_size=1, max_size=300))
+        query = {"key": np.asarray(keys, dtype=np.int64)}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+
+class TestReferencePathParity:
+    def test_uncompiled_store_matches_barrier(self, table):
+        store = ShardedDeepMapping.fit(
+            table, fast_config(epochs=3, compiled_lookup=False),
+            ShardingConfig(n_shards=3))
+        rng = np.random.default_rng(1)
+        live = table.column("key")
+        query = {"key": np.concatenate([
+            rng.choice(live, 300),
+            rng.integers(live.min(), live.max() + 100, 300)])}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+
+class TestCompositeKeys:
+    def test_composite_key_parity(self):
+        rng = np.random.default_rng(7)
+        a = np.repeat(np.arange(30, dtype=np.int64), 20)
+        b = np.tile(np.arange(20, dtype=np.int64), 30)
+        table = ColumnTable(
+            {"a": a, "b": b,
+             "v": rng.integers(0, 50, a.size).astype(np.int64)},
+            key=("a", "b"))
+        store = ShardedDeepMapping.fit(table, fast_config(epochs=3),
+                                       ShardingConfig(n_shards=3))
+        query = {
+            "a": np.concatenate([a[::7], rng.integers(0, 40, 60)]),
+            "b": np.concatenate([b[::7], rng.integers(0, 25, 60)]),
+        }
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+
+class TestEmptyShards:
+    def test_batch_touching_empty_shard(self, table):
+        store = ShardedDeepMapping.fit(table, fast_config(epochs=3),
+                                       ShardingConfig(n_shards=4))
+        # Delete every row of shard 0 so its segment is all misses.
+        shard = store.shards[0]
+        flat = shard.exist.existing_keys()
+        key_cols = shard.key_codec.unflatten(flat)
+        store.delete(key_cols)
+        store._topology = (store.router,
+                           [None] + list(store.shards[1:]))
+        rng = np.random.default_rng(2)
+        live = table.column("key")
+        query = {"key": np.concatenate([
+            rng.choice(live, 400),
+            rng.integers(live.min(), live.max() + 100, 400)])}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+
+
+class TestExecutorFallback:
+    def test_strategy_without_submit_job_uses_barrier(self, table):
+        class MinimalStrategy:
+            name = "minimal"
+
+            def map(self, fn, jobs):
+                return [fn(job) for job in jobs]
+
+            def submit(self, fn, *args, **kwargs):
+                from concurrent.futures import Future
+                future = Future()
+                future.set_result(fn(*args, **kwargs))
+                return future
+
+            def close(self):
+                pass
+
+        store = ShardedDeepMapping.fit(
+            table, fast_config(epochs=3),
+            ShardingConfig(n_shards=3, executor=MinimalStrategy()))
+        rng = np.random.default_rng(3)
+        live = table.column("key")
+        query = {"key": rng.choice(live, 200)}
+        reference = ShardedDeepMapping.lookup_barrier(store, query)
+        assert_same(store.lookup(query), reference, store.value_names)
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_named_strategies_parity(self, table, executor):
+        store = ShardedDeepMapping.fit(
+            table, fast_config(epochs=3),
+            ShardingConfig(n_shards=3, executor=executor))
+        rng = np.random.default_rng(4)
+        live = table.column("key")
+        query = {"key": np.concatenate([
+            rng.choice(live, 300),
+            rng.integers(live.min(), live.max() + 100, 300)])}
+        assert_same(store.lookup(query), store.lookup_barrier(query),
+                    store.value_names)
+        assert_same(store.lookup_async(query).result(),
+                    store.lookup_barrier(query), store.value_names)
+        store.close()

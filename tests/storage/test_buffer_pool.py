@@ -204,3 +204,154 @@ class TestThreadSafety:
         assert "part" not in pool          # ...but nothing was cached
         calls = []
         assert pool.get("part", make_loader("FRESH", 10, calls)) == "FRESH"
+
+
+class TestFaultDeduplication:
+    """Concurrent faults on one key run the loader exactly once."""
+
+    def test_thundering_herd_runs_loader_once(self):
+        import threading
+
+        stats = StoreStats()
+        pool = BufferPool(budget_bytes=1000, stats=stats)
+        gate = threading.Event()
+        load_calls = []
+        lock = threading.Lock()
+
+        def slow_loader():
+            with lock:
+                load_calls.append(1)
+            gate.wait(timeout=5)  # hold every concurrent faulter at the gate
+            return "BLOCK", 10
+
+        results, errors = [], []
+
+        def reader():
+            try:
+                results.append(pool.get("part", slow_loader))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Give followers time to pile onto the in-flight fault.
+        import time
+        deadline = time.time() + 5
+        while stats.counters.get("pool_waits", 0) < 7 \
+                and time.time() < deadline:
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+
+        assert not errors, errors
+        assert results == ["BLOCK"] * 8
+        assert len(load_calls) == 1            # the herd collapsed
+        assert stats.counters["pool_misses"] == 1
+        assert stats.counters["pool_waits"] == 7
+
+    def test_followers_share_uncacheable_object(self):
+        """Even an over-budget object is handed to the waiting followers
+        (nobody re-runs the decompression)."""
+        import threading
+
+        pool = BufferPool(budget_bytes=5)
+        gate = threading.Event()
+        calls = []
+
+        def big_loader():
+            calls.append(1)
+            gate.wait(timeout=5)
+            return "HUGE", 1000
+
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(pool.get("big", big_loader)))
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.05)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert results == ["HUGE"] * 4
+        assert len(calls) == 1
+        assert "big" not in pool
+
+    def test_leader_failure_lets_followers_retry(self):
+        import threading
+
+        pool = BufferPool(budget_bytes=1000)
+        gate = threading.Event()
+        attempts = []
+        lock = threading.Lock()
+
+        def flaky_loader():
+            with lock:
+                attempts.append(1)
+                first = len(attempts) == 1
+            if first:
+                gate.wait(timeout=5)
+                raise OSError("disk hiccup")
+            return "RECOVERED", 10
+
+        results, errors = [], []
+
+        def reader():
+            try:
+                results.append(pool.get("part", flaky_loader))
+            except OSError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.05)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        # Exactly one caller saw the leader's error; everyone else
+        # recovered through a retry that re-led the fault.
+        assert len(errors) == 1
+        assert results == ["RECOVERED"] * 3
+
+    def test_strict_oversized_fault_raises_for_every_caller(self):
+        pool = BufferPool(budget_bytes=5, strict=True)
+        with pytest.raises(MemoryBudgetError):
+            pool.get("big", make_loader("HUGE", 1000, []))
+        # The fault record is cleaned up: the next get retries cleanly.
+        with pytest.raises(MemoryBudgetError):
+            pool.get("big", make_loader("HUGE", 1000, []))
+
+    def test_getter_after_invalidate_does_not_adopt_inflight_fault(self):
+        """A reader arriving after invalidate() must lead a fresh load,
+        never share the retired content the detached leader returns."""
+        import threading
+
+        pool = BufferPool(budget_bytes=1000)
+        loader_entered = threading.Event()
+        release_loader = threading.Event()
+
+        def stale_loader():
+            loader_entered.set()
+            release_loader.wait(timeout=5)
+            return "STALE", 10
+
+        result = {}
+        leader = threading.Thread(
+            target=lambda: result.update(a=pool.get("part", stale_loader)))
+        leader.start()
+        assert loader_entered.wait(timeout=5)
+        pool.invalidate("part")  # rebuild retires the blob name
+        # This get starts AFTER the invalidation: it must not wait on
+        # (or adopt) the stale in-flight fault.
+        fresh = pool.get("part", make_loader("FRESH", 10, []))
+        release_loader.set()
+        leader.join(timeout=5)
+        assert fresh == "FRESH"
+        assert result["a"] == "STALE"  # the straddling caller keeps its read
+        # The fresh content is what stays cached.
+        assert pool.get("part", make_loader("NEVER", 10, [])) == "FRESH"

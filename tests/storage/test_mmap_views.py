@@ -1,0 +1,81 @@
+"""LocalDirBackend mmap read mode and read-only enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (InMemoryBackend, LocalDirBackend, ZipBackend,
+                           read_blob_view)
+
+
+class TestReadView:
+    def test_view_matches_bytes(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        backend.write_bytes("a", b"0123456789")
+        view = backend.read_view("a")
+        assert bytes(view) == b"0123456789"
+        assert view.readonly
+
+    def test_view_survives_atomic_replacement(self, tmp_path):
+        """os.replace retires the inode, not the mapping: views taken
+        before a re-save stay valid and keep the *old* content."""
+        backend = LocalDirBackend(str(tmp_path))
+        backend.write_bytes("a", b"old content")
+        view = backend.read_view("a")
+        backend.write_bytes("a", b"NEW")
+        assert bytes(view) == b"old content"
+        assert backend.read_bytes("a") == b"NEW"
+
+    def test_frombuffer_array_keeps_mapping_alive(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        data = np.arange(1024, dtype=np.int64)
+        backend.write_bytes("a", data.tobytes())
+        arr = np.frombuffer(backend.read_view("a"), dtype=np.int64)
+        np.testing.assert_array_equal(arr, data)
+        assert not arr.flags.writeable
+
+    def test_empty_blob_view(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        backend.write_bytes("a", b"")
+        assert bytes(backend.read_view("a")) == b""
+
+    def test_missing_blob_raises_keyerror(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        with pytest.raises(KeyError):
+            backend.read_view("nope")
+
+    def test_helper_falls_back_without_capability(self):
+        class Plain:
+            def read_bytes(self, name):
+                return b"fallback"
+        assert bytes(read_blob_view(Plain(), "x")) == b"fallback"
+
+    def test_helper_uses_capability(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        backend.write_bytes("a", b"zz")
+        assert bytes(read_blob_view(backend, "a")) == b"zz"
+
+    def test_mem_and_zip_views(self, tmp_path):
+        mem = InMemoryBackend()
+        mem.write_bytes("a", b"m")
+        assert bytes(mem.read_view("a")) == b"m"
+        zipped = ZipBackend(str(tmp_path / "c.zip"))
+        zipped.write_bytes("a", b"z")
+        assert bytes(zipped.read_view("a")) == b"z"
+
+
+class TestReadOnlyBackend:
+    def test_writes_refused(self, tmp_path):
+        rw = LocalDirBackend(str(tmp_path))
+        rw.write_bytes("a", b"1")
+        ro = LocalDirBackend(str(tmp_path), writable=False)
+        assert ro.read_bytes("a") == b"1"
+        with pytest.raises(PermissionError):
+            ro.write_bytes("b", b"2")
+        with pytest.raises(PermissionError):
+            ro.delete("a")
+        assert rw.read_bytes("a") == b"1"
+
+    def test_readonly_does_not_create_directory(self, tmp_path):
+        target = tmp_path / "absent"
+        LocalDirBackend(str(target), writable=False)
+        assert not target.exists()

@@ -1,0 +1,101 @@
+"""Zero-copy payload container: roundtrips, view semantics, corruption."""
+
+import mmap
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import zerocopy
+
+
+def roundtrip(obj, zero_copy=False):
+    return zerocopy.unpack(zerocopy.pack(obj), zero_copy=zero_copy)
+
+
+class TestRoundtrip:
+    def test_mixed_object_graph(self):
+        obj = {
+            "ints": np.arange(257, dtype=np.int64),
+            "halves": np.linspace(0, 1, 33, dtype=np.float16),
+            "matrix": np.ones((5, 7), dtype=np.float32),
+            "blob": b"raw bytes",
+            "text": "plain string",
+            "nested": {"inner": np.array([1, 2, 3], dtype=np.uint8)},
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        out = roundtrip(obj)
+        for key in ("ints", "halves", "matrix", "empty"):
+            np.testing.assert_array_equal(out[key], obj[key])
+            assert out[key].dtype == obj[key].dtype
+        assert out["blob"] == obj["blob"]
+        assert out["text"] == obj["text"]
+        np.testing.assert_array_equal(out["nested"]["inner"],
+                                      obj["nested"]["inner"])
+
+    def test_object_dtype_arrays_survive(self):
+        obj = np.array(["a", None, 3], dtype=object)
+        out = roundtrip(obj)
+        assert list(out) == list(obj)
+
+    def test_scalar_only_payload_has_no_buffers(self):
+        payload = zerocopy.pack({"n": 7})
+        assert zerocopy.unpack(payload) == {"n": 7}
+
+
+class TestViewSemantics:
+    def test_default_mode_yields_writable_copies(self):
+        out = roundtrip({"a": np.arange(10)}, zero_copy=False)
+        assert out["a"].flags.writeable
+        out["a"][0] = 99  # must not raise
+
+    def test_zero_copy_yields_readonly_views(self):
+        payload = zerocopy.pack({"a": np.arange(64, dtype=np.int64)})
+        out = zerocopy.unpack(payload, zero_copy=True)
+        assert not out["a"].flags.writeable
+        assert out["a"].base is not None  # a view, not an owned copy
+        with pytest.raises((ValueError, RuntimeError)):
+            out["a"][0] = 1
+
+    def test_zero_copy_views_stay_valid_over_mmap(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        arr = np.arange(4096, dtype=np.int64)
+        path.write_bytes(zerocopy.pack({"a": arr}))
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        out = zerocopy.unpack(memoryview(mapped), zero_copy=True)
+        # Drop our direct references: the array's base chain must keep
+        # the mapping alive on its own.
+        del mapped
+        np.testing.assert_array_equal(out["a"], arr)
+
+    def test_buffer_segments_are_aligned_in_container(self):
+        payload = zerocopy.pack({"a": np.arange(100, dtype=np.int64)})
+        view = memoryview(payload)
+        # First buffer offset is recorded right after the header.
+        import struct
+        base = len(zerocopy.MAGIC)
+        _, _ = struct.unpack_from("<QQ", view, base)
+        offset, _ = struct.unpack_from("<QQ", view, base + 16)
+        assert offset % 64 == 0
+
+
+class TestFormat:
+    def test_is_packed_sniffs_magic(self):
+        assert zerocopy.is_packed(zerocopy.pack(1))
+        assert not zerocopy.is_packed(pickle.dumps(1))
+        assert not zerocopy.is_packed(b"")
+
+    def test_legacy_pickle_is_not_misdetected(self):
+        legacy = pickle.dumps({"a": np.arange(5)},
+                              protocol=pickle.HIGHEST_PROTOCOL)
+        assert not zerocopy.is_packed(legacy)
+
+    def test_unpack_rejects_plain_pickle(self):
+        with pytest.raises(pickle.UnpicklingError):
+            zerocopy.unpack(pickle.dumps({"a": 1}))
+
+    def test_unpack_rejects_truncated_container(self):
+        payload = zerocopy.pack({"a": np.arange(1000, dtype=np.int64)})
+        with pytest.raises(pickle.UnpicklingError):
+            zerocopy.unpack(payload[: len(payload) // 2])
