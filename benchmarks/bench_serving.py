@@ -1,0 +1,328 @@
+"""Coalescing serving benchmark: closed-loop latency/throughput vs load.
+
+The serving tier (``repro.serve``) exists because many small concurrent
+lookups are far cheaper fused into one batched call than executed one by
+one — batched throughput scales with batch size (see BENCH_lookup /
+BENCH_pipeline), so a coalescer that merges a 64-client burst into a few
+store calls should beat 64 sequential per-request lookups by a wide
+margin.  This benchmark measures that claim closed-loop:
+
+- **baseline**: each request is one direct ``store.lookup`` of its own
+  keys, issued back to back from a single caller — the "no server"
+  sequential per-request path.
+- **coalesced**: the same requests fan out from N concurrent clients
+  through ``repro.serve.Client``; the admission window merges them into
+  few fused-gather batches.
+
+For each offered concurrency level the report records requests/s,
+keys/s, p50/p99 request latency, coalesce ratio, and batches formed.
+Acceptance gate (tracked in ``BENCH_serving.json`` at the repo root):
+coalesced throughput must be **>= 2x** the sequential baseline at 64
+concurrent clients.  Every response is asserted bit-identical to direct
+lookup before any timing counts.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI
+
+Smoke mode shrinks the build and request volume to CI seconds, still
+asserts parity everywhere, and gates on coalesced >= the sequential
+baseline (noise floor) rather than the full 2x bar.  Smoke JSON goes
+under ``benchmarks/results/``.
+"""
+
+import argparse
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+import repro
+from repro.bench import format_table
+from repro.core import DeepMappingConfig
+from repro.serve import AdmissionPolicy, ServeStats
+from repro.shard import ShardedDeepMapping, ShardingConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+ACCEPTANCE_SPEEDUP = 2.0   # coalesced vs sequential at 64 clients, full run
+ACCEPTANCE_CLIENTS = 64
+SMOKE_FLOOR = 1.0          # CI gate: coalesced must not lose to sequential
+
+
+def bench_config(smoke: bool) -> DeepMappingConfig:
+    return DeepMappingConfig(
+        epochs=2 if smoke else 6,
+        batch_size=4096,
+        shared_sizes=(48,),
+        private_sizes=(24,),
+    )
+
+
+def build_store(rows: int, shards: int, smoke: bool):
+    from repro.data import synthetic
+
+    table = synthetic.single_column(rows, "high", seed=11, domain_factor=2.0)
+    store = ShardedDeepMapping.fit(table, bench_config(smoke),
+                                   ShardingConfig(n_shards=shards))
+    return table, store
+
+
+def build_workload(table, n_clients: int, requests_per_client: int,
+                   keys_per_request: int, seed: int):
+    """Per-client request lists with a realistic mixed key profile:
+    ~40% live keys, ~20% shared hot keys (cross-request dedup), the rest
+    in-domain and out-of-domain misses."""
+    rng = np.random.default_rng(seed)
+    key_name = table.key[0]
+    live = np.asarray(table.column(key_name), dtype=np.int64)
+    hot = rng.choice(live, size=32, replace=False)
+    lo, hi = int(live.min()), int(live.max())
+
+    def one_request():
+        n_live = int(keys_per_request * 0.4)
+        n_hot = int(keys_per_request * 0.2)
+        n_miss = keys_per_request - n_live - n_hot
+        keys = np.concatenate([
+            rng.choice(live, size=n_live, replace=True),
+            rng.choice(hot, size=n_hot, replace=True),
+            rng.integers(lo, hi + (hi - lo) // 2, size=n_miss,
+                         dtype=np.int64),
+        ])
+        rng.shuffle(keys)
+        return {key_name: keys}
+
+    return [[one_request() for _ in range(requests_per_client)]
+            for _ in range(n_clients)]
+
+
+def assert_identical(result, reference, label):
+    assert np.array_equal(result.found, reference.found), label
+    for column, want in reference.values.items():
+        assert np.array_equal(result.values[column], want), (label, column)
+
+
+def run_sequential_baseline(store, workload):
+    """All requests back to back, one direct lookup each (no server)."""
+    flat = [query for client in workload for query in client]
+    for query in flat[:2]:
+        store.lookup(query)  # warm engines / pools outside the timer
+    start = time.perf_counter()
+    latencies = []
+    for query in flat:
+        t0 = time.perf_counter()
+        store.lookup(query)
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    total_keys = sum(len(next(iter(q.values()))) for q in flat)
+    return {
+        "requests": len(flat),
+        "seconds": elapsed,
+        "requests_per_second": len(flat) / elapsed,
+        "keys_per_second": total_keys / elapsed,
+        "p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+    }
+
+
+def run_coalesced(store, workload, policy):
+    """The same workload offered by concurrent closed-loop clients
+    through the coalescing server; parity asserted on every response."""
+    stats = ServeStats()
+    oracle = [[store.lookup(query) for query in client]
+              for client in workload]
+    errors = []
+    latencies = []
+    latency_lock = threading.Lock()
+    barrier = threading.Barrier(len(workload) + 1)
+
+    with repro.serving(store, policy=policy, stats=stats) as client:
+        def drive(index):
+            mine = []
+            barrier.wait()
+            for query, want in zip(workload[index], oracle[index]):
+                t0 = time.perf_counter()
+                got = client.lookup(query)
+                mine.append(time.perf_counter() - t0)
+                try:
+                    assert_identical(got, want, f"client {index}")
+                except AssertionError as exc:
+                    errors.append(str(exc))
+            with latency_lock:
+                latencies.extend(mine)
+
+        threads = [threading.Thread(target=drive, args=(i,), daemon=True)
+                   for i in range(len(workload))]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=300)
+            assert not thread.is_alive(), "client thread hung"
+        elapsed = time.perf_counter() - start
+        snap = stats.snapshot()
+
+    assert not errors, errors[0]
+    n_requests = sum(len(client_queries) for client_queries in workload)
+    total_keys = sum(len(next(iter(q.values())))
+                     for client_queries in workload
+                     for q in client_queries)
+    return {
+        "clients": len(workload),
+        "requests": n_requests,
+        "seconds": elapsed,
+        "requests_per_second": n_requests / elapsed,
+        "keys_per_second": total_keys / elapsed,
+        "p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+        "batches_formed": snap["batches_formed"],
+        "coalesce_ratio": snap["coalesce_ratio"],
+        "dedup_ratio": snap["dedup_ratio"],
+    }
+
+
+def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
+                          keys_per_request: int, levels, smoke: bool):
+    table, store = build_store(rows, shards, smoke)
+    policy = AdmissionPolicy(max_batch_keys=65_536, max_delay_ms=2.0)
+
+    max_clients = max(levels)
+    workload = build_workload(table, max_clients, requests_per_client,
+                              keys_per_request, seed=20240808)
+    baseline = run_sequential_baseline(store, workload)
+
+    by_level = []
+    for n_clients in levels:
+        level = run_coalesced(store, workload[:n_clients], policy)
+        by_level.append(level)
+
+    top = by_level[-1]
+    # Compare at equal request counts: throughput is rate-based, so the
+    # sequential requests/s measured over the full workload is the fair
+    # per-request baseline at any concurrency level.
+    speedup = top["requests_per_second"] / baseline["requests_per_second"]
+
+    report = {
+        "benchmark": "serving",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "smoke" if smoke else "full",
+        "rows": rows,
+        "shards": shards,
+        "requests_per_client": requests_per_client,
+        "keys_per_request": keys_per_request,
+        "policy": {
+            "max_batch_keys": policy.max_batch_keys,
+            "max_delay_ms": policy.max_delay_ms,
+        },
+        "sequential_baseline": baseline,
+        "coalesced_by_level": by_level,
+        "acceptance": {
+            "metric": ("coalesced serving throughput vs sequential "
+                       f"per-request lookups at {top['clients']} "
+                       "concurrent clients"),
+            "target": ACCEPTANCE_SPEEDUP,
+            "measured": speedup,
+            "clients": top["clients"],
+            "coalesce_ratio": top["coalesce_ratio"],
+            "passed": (speedup >= ACCEPTANCE_SPEEDUP
+                       and top["coalesce_ratio"] > 1.0
+                       and top["clients"] >= (1 if smoke
+                                              else ACCEPTANCE_CLIENTS)),
+        },
+    }
+
+    rows_out = [["sequential", 1, int(baseline["requests_per_second"]),
+                 f"{baseline['p50_ms']:.2f}", f"{baseline['p99_ms']:.2f}",
+                 "-", "-"]]
+    rows_out += [[f"coalesced x{lvl['clients']}", lvl["clients"],
+                  int(lvl["requests_per_second"]),
+                  f"{lvl['p50_ms']:.2f}", f"{lvl['p99_ms']:.2f}",
+                  f"{lvl['coalesce_ratio']:.2f}", lvl["batches_formed"]]
+                 for lvl in by_level]
+    print(format_table(
+        ["path", "clients", "req/s", "p50 ms", "p99 ms", "coalesce",
+         "batches"],
+        rows_out,
+        title=(f"Closed-loop serving (rows={rows}, shards={shards}, "
+               f"{keys_per_request} keys/request, "
+               f"{requests_per_client} requests/client)"),
+    ))
+    print(f"coalesced vs sequential at {top['clients']} clients: "
+          f"{speedup:.2f}x (coalesce ratio {top['coalesce_ratio']:.2f})")
+
+    store.close()
+    return report
+
+
+def write_json(report, out_path: str) -> None:
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[benchmark JSON saved to {out_path}]")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI config (results not tracked)")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--requests-per-client", type=int, default=None)
+    parser.add_argument("--keys-per-request", type=int, default=None)
+    args = parser.parse_args()
+
+    if args.smoke:
+        defaults = dict(rows=6_000, shards=4, requests_per_client=2,
+                        keys_per_request=16)
+        levels = [8, 16]
+        out_path = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+    else:
+        defaults = dict(rows=60_000, shards=4, requests_per_client=6,
+                        keys_per_request=16)
+        levels = [1, 8, 64]
+        out_path = os.path.join(REPO_ROOT, "BENCH_serving.json")
+    for name, value in defaults.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    report = run_serving_benchmark(
+        rows=args.rows, shards=args.shards,
+        requests_per_client=args.requests_per_client,
+        keys_per_request=args.keys_per_request,
+        levels=levels, smoke=args.smoke)
+    write_json(report, out_path)
+
+    speedup = report["acceptance"]["measured"]
+    ratio = report["acceptance"]["coalesce_ratio"]
+    if args.smoke:
+        # CI regression gate: coalesced serving must at least match the
+        # sequential baseline and genuinely coalesce, even on small
+        # shared runners; the full 2x bar is tracked in
+        # BENCH_serving.json at the repo root.
+        if speedup < SMOKE_FLOOR or ratio <= 1.0:
+            print(f"SMOKE GATE FAILED: coalesced {speedup:.2f}x sequential "
+                  f"(floor {SMOKE_FLOOR:.2f}), coalesce ratio {ratio:.2f}")
+            return 1
+        print(f"smoke gate: coalesced {speedup:.2f}x sequential "
+              f"(floor {SMOKE_FLOOR:.2f}), coalesce ratio {ratio:.2f} — "
+              "full acceptance tracked in BENCH_serving.json")
+        return 0
+    if not report["acceptance"]["passed"]:
+        print(f"ACCEPTANCE FAILED: coalesced {speedup:.2f}x sequential "
+              f"(target {ACCEPTANCE_SPEEDUP}x) at "
+              f"{report['acceptance']['clients']} clients")
+        return 1
+    print(f"acceptance: coalesced {speedup:.2f}x sequential "
+          f"(target >= {ACCEPTANCE_SPEEDUP}x) at "
+          f"{report['acceptance']['clients']} clients")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

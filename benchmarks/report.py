@@ -61,6 +61,13 @@ def _headline(name, data):
                 f">= {_fmt(acceptance.get('pipeline_target'), 'x')}; "
                 f">= {_fmt(acceptance.get('warm_target'), 'x')}",
                 f"{pipeline}; {warm}")
+    if name == "serving":
+        ratio = _fmt(acceptance.get("coalesce_ratio"), "x")
+        return (f"coalesced vs sequential lookups, "
+                f"{acceptance.get('clients', '?')} clients",
+                f">= {_fmt(acceptance.get('target'), 'x')}",
+                f"{_fmt(acceptance.get('measured'), 'x')} "
+                f"(coalesce {ratio})")
     return (acceptance.get("metric", "(acceptance)"),
             _fmt(acceptance.get("target")),
             _fmt(acceptance.get("measured")))

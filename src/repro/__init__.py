@@ -18,6 +18,10 @@ Public API highlights
 - :class:`repro.LifecycleConfig` / :mod:`repro.lifecycle` — write-side
   maintenance: pluggable retrain policies, range shard split/merge
   rebalancing, per-shard MHAS model sizing.
+- :func:`repro.serving` / :mod:`repro.serve` — the serving tier: a
+  coalescing lookup server that merges many small concurrent requests
+  into fused batches over a shared read-only store (in-process client,
+  TCP/JSON-lines transport, ``python -m repro serve`` CLI).
 - :mod:`repro.storage` — storage substrate, including the pluggable
   :class:`~repro.storage.StorageBackend` persistence layer.
 - :mod:`repro.core.mhas` — multi-task hybrid architecture search.
@@ -49,8 +53,8 @@ True
 
 __version__ = "1.1.0"
 
-from . import (baselines, bench, core, data, lifecycle, nn, shard, storage,
-               store)
+from . import (baselines, bench, core, data, lifecycle, nn, serve, shard,
+               storage, store)
 from .core import (
     DeepMapping,
     DeepMappingConfig,
@@ -64,7 +68,7 @@ from .core import (
 from .data import ColumnTable
 from .lifecycle import LifecycleConfig, MaintenanceEngine
 from .shard import ShardedDeepMapping, ShardingConfig
-from .store import DataStore, build_store, open_store
+from .store import DataStore, build_store, open_store, serving
 from .store import build_store as build
 from .store import open_store as open
 
@@ -74,6 +78,7 @@ __all__ = [
     "build",
     "open_store",
     "build_store",
+    "serving",
     "DataStore",
     "DeepMapping",
     "DeepMappingConfig",
@@ -94,6 +99,7 @@ __all__ = [
     "data",
     "lifecycle",
     "nn",
+    "serve",
     "shard",
     "storage",
     "store",

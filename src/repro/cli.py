@@ -5,6 +5,7 @@ Subcommands:
 - ``build``  — fit a hybrid structure over a generated dataset and save it
 - ``info``   — print a saved structure's size report
 - ``query``  — point lookups against a saved structure
+- ``serve``  — long-lived coalescing lookup server (TCP/JSON-lines)
 - ``bench``  — quick size/latency comparison against baselines
 
 ``build --shards N`` fits a sharded store instead of a monolithic one; the
@@ -23,6 +24,7 @@ Examples::
     python -m repro build --dataset tpch:orders --out zip://orders.zip
     python -m repro info orders.dm
     python -m repro query zip://orders.zip --key o_orderkey=1
+    python -m repro serve orders.dms --port 7474 --max-delay-ms 2
     python -m repro bench --dataset synthetic:multi-high --systems DM-Z,ABC-Z
 """
 
@@ -88,7 +90,8 @@ def _config_from_args(args: argparse.Namespace) -> DeepMappingConfig:
     return DeepMappingConfig(**kwargs)
 
 
-def _load_structure(path: str) -> Union[DeepMapping, ShardedDeepMapping]:
+def _load_structure(path: str, **open_kwargs) \
+        -> Union[DeepMapping, ShardedDeepMapping]:
     """Open a saved structure, monolithic or sharded, via :func:`repro.open`.
 
     Bare paths (no ``scheme://``) are the deprecated pre-URL dispatch:
@@ -101,7 +104,7 @@ def _load_structure(path: str) -> Union[DeepMapping, ShardedDeepMapping]:
             "URL instead (file:// for local paths, mem://, zip://)",
         )
     try:
-        return open_store(path)
+        return open_store(path, **open_kwargs)
     except (FileNotFoundError, ValueError) as exc:
         # Both carry the accepted-scheme list in their message.
         raise SystemExit(str(exc)) from None
@@ -234,6 +237,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import AdmissionPolicy, run_forever
+
+    # Read-only open: the server shares the process-wide payload cache
+    # and can never mutate the store it serves.
+    dm = _load_structure(args.path, writable=False, executor=args.executor)
+    policy = AdmissionPolicy(max_batch_keys=args.max_batch_keys,
+                             max_delay_ms=args.max_delay_ms)
+
+    def ready(port: int) -> None:
+        print(f"serving {args.path} on {args.host}:{port} "
+              f"(max_batch_keys={policy.max_batch_keys}, "
+              f"max_delay_ms={policy.max_delay_ms:g}); Ctrl-C stops",
+              flush=True)
+
+    run_forever(dm, host=args.host, port=args.port, policy=policy,
+                on_ready=ready)
+    dm.close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.shards > 1:
         raise SystemExit("bench compares monolithic systems; for shard "
@@ -318,6 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--key", action="append", default=[],
                          help="column=value; repeat per key column and row")
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="coalescing lookup server over a saved store")
+    p_serve.add_argument("path", help="store path or file:// / zip:// URL "
+                                      "(opened read-only)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks a free one, printed on "
+                              "startup)")
+    p_serve.add_argument("--max-batch-keys", type=int, default=8192,
+                         help="flush a forming batch at this many keys")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="max queueing delay before a partial batch "
+                              "flushes")
+    p_serve.add_argument("--executor", default=None,
+                         choices=list(EXECUTOR_NAMES),
+                         help="store fan-out executor strategy")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="compare against baselines")
     p_bench.add_argument("--dataset", required=True)

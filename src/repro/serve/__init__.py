@@ -1,0 +1,73 @@
+"""Serving tier: a coalescing lookup service over shared read stores.
+
+The fused-gather read path amortizes best over large batches, but
+multi-user traffic arrives as many tiny lookups.  This package turns one
+into the other: an asyncio :class:`~repro.serve.server.LookupServer`
+admits small concurrent ``lookup(keys)`` requests and a
+:class:`~repro.serve.batcher.Batcher` coalesces them — bounded by the
+:class:`~repro.serve.policy.AdmissionPolicy` size/delay triggers — into
+one fused store call per flush, scattering bit-identical per-request
+slices back to every awaiting future (identical keys across requests
+are deduped into one gather position).
+
+Three ways in:
+
+- in-process: ``repro.serving(url)`` → a synchronous
+  :class:`~repro.serve.server.Client` (tests, embedding);
+- network: :func:`~repro.serve.transport.serve_tcp` /
+  :class:`~repro.serve.transport.TCPClient`, JSON lines over TCP;
+- operational: ``python -m repro serve <url>``.
+
+``docs/serving.md`` covers the policy knobs, the
+:class:`~repro.serve.stats.ServeStats` fields (batches formed, coalesce
+ratio, queue depth, per-tenant p50/p99), and deployment shapes.
+"""
+
+from .batcher import Batcher, PendingRequest, QueueFullError
+from .policy import AdmissionPolicy
+from .server import Client, LookupServer
+from .stats import ServeStats, TenantStats
+from .transport import BackgroundTCPServer, TCPClient, serve_tcp
+
+__all__ = [
+    "AdmissionPolicy",
+    "Batcher",
+    "PendingRequest",
+    "QueueFullError",
+    "Client",
+    "LookupServer",
+    "ServeStats",
+    "TenantStats",
+    "TCPClient",
+    "BackgroundTCPServer",
+    "serve_tcp",
+    "run_forever",
+]
+
+
+def run_forever(store, host: str = "127.0.0.1", port: int = 0,
+                policy=None, stats=None, on_ready=None) -> None:
+    """Serve ``store`` over TCP until interrupted (the CLI's engine).
+
+    ``on_ready(port)`` fires once the socket is listening — with
+    ``port=0`` this is how the caller learns the assigned port.  Returns
+    cleanly on ``KeyboardInterrupt`` after draining in-flight batches.
+    """
+    import asyncio
+
+    async def _main() -> None:
+        server = LookupServer(store, policy=policy, stats=stats)
+        tcp = await serve_tcp(server, host, port)
+        if on_ready is not None:
+            on_ready(tcp.sockets[0].getsockname()[1])
+        try:
+            await asyncio.Event().wait()
+        finally:
+            tcp.close()
+            await tcp.wait_closed()
+            await server.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,204 @@
+"""The coalescer: merge many small lookup requests into one fused batch.
+
+Two layers live here, both deliberately free of any event loop so the
+latency-policy tests can drive them with a fake clock:
+
+- :class:`Batcher` — the admission state machine.  Requests are queued
+  into a *forming batch*; :meth:`add` reports when the
+  :class:`~repro.serve.policy.AdmissionPolicy` size trigger fires,
+  :meth:`deadline` exposes the single point in time the delay trigger
+  would fire (``None`` while idle — the server arms exactly one timer
+  per forming batch and none when idle), and :meth:`take` drains the
+  batch for execution.
+- :func:`merge_requests` / :func:`scatter_result` — the pure array math
+  of coalescing.  Merge concatenates every request's key columns,
+  dedups identical keys across requests (one fused-gather position per
+  distinct key, however many requests asked for it), and remembers the
+  per-request slices; scatter routes the store's one
+  :class:`~repro.core.deep_mapping.LookupResult` back into bit-identical
+  per-request results via the dedup inverse.
+
+Parity argument: ``lookup`` is a pure function of (store state, key), so
+looking a key up once and fanning the row out to every request that
+asked for it returns exactly what each request's own ``lookup`` call
+would have — the property test in ``tests/serve/test_property.py``
+checks this for arbitrary partitions, overlaps, and misses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.deep_mapping import LookupResult, normalize_keys
+from .policy import AdmissionPolicy
+
+__all__ = ["Batcher", "PendingRequest", "QueueFullError",
+           "normalize_request_keys", "merge_requests", "scatter_result"]
+
+
+class QueueFullError(RuntimeError):
+    """Admission refused: the forming batch already holds
+    ``policy.max_queue_requests`` requests (back-pressure)."""
+
+
+def normalize_request_keys(keys, key_names) -> Dict[str, np.ndarray]:
+    """Validate and canonicalize one request's keys at admission time.
+
+    Every accepted key shape is coerced to ``{name: int64 array}``.
+    Doing the dtype check *here* — before the request joins a batch — is
+    what keeps a malformed request from poisoning its batchmates: a
+    string or float key raises to its own caller and never reaches the
+    merge (``tests/serve/test_faults.py``).
+    """
+    columns = normalize_keys(keys, tuple(key_names))
+    out: Dict[str, np.ndarray] = {}
+    n = None
+    for name in key_names:
+        arr = np.asarray(columns[name])
+        if arr.ndim != 1:
+            raise TypeError(f"key column {name!r} must be 1-D, "
+                            f"got shape {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(f"key column {name!r} must be integer, "
+                            f"got dtype {arr.dtype}")
+        if n is None:
+            n = arr.size
+        elif arr.size != n:
+            raise ValueError(f"key columns disagree on length: "
+                             f"{name!r} has {arr.size}, expected {n}")
+        out[name] = arr.astype(np.int64, copy=False)
+    return out
+
+
+class PendingRequest:
+    """One admitted request waiting in the forming batch."""
+
+    __slots__ = ("key_cols", "n_keys", "tenant", "future", "admitted_at")
+
+    def __init__(self, key_cols: Dict[str, np.ndarray], tenant: str,
+                 future, admitted_at: float):
+        self.key_cols = key_cols
+        self.n_keys = int(next(iter(key_cols.values())).size)
+        self.tenant = tenant
+        #: The caller's completion handle; the server decides its flavor
+        #: (asyncio future in-process, set via call_soon_threadsafe from
+        #: workers).  The batcher only carries it.
+        self.future = future
+        self.admitted_at = admitted_at
+
+
+class Batcher:
+    """Admission state machine for one store's forming batch.
+
+    Not thread-safe by itself: the server confines every call to its
+    event-loop thread.  ``clock`` is injectable (monotonic seconds) so
+    tests advance time explicitly.
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.policy = policy or AdmissionPolicy()
+        self.clock = clock
+        self._pending: List[PendingRequest] = []
+        self._pending_keys = 0
+        self._deadline: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_keys(self) -> int:
+        """Keys queued in the forming batch (pre-dedup)."""
+        return self._pending_keys
+
+    def add(self, request: PendingRequest) -> bool:
+        """Queue ``request``; True when the size trigger says flush now.
+
+        The first request of a batch starts the delay clock; later
+        requests never extend it (the *oldest* waiter bounds the delay).
+        Raises :class:`QueueFullError` when the policy's queue bound is
+        hit — the caller fails that request alone.
+        """
+        limit = self.policy.max_queue_requests
+        if limit is not None and len(self._pending) >= limit:
+            raise QueueFullError(
+                f"forming batch already holds {len(self._pending)} requests "
+                f"(max_queue_requests={limit})")
+        if not self._pending:
+            self._deadline = self.clock() + self.policy.max_delay_seconds
+        self._pending.append(request)
+        self._pending_keys += request.n_keys
+        return self._pending_keys >= self.policy.max_batch_keys
+
+    def deadline(self) -> Optional[float]:
+        """When the delay trigger fires, or None while idle.
+
+        One timer per forming batch is all a server needs: the deadline
+        is set at first admission and never moves until :meth:`take`.
+        """
+        return self._deadline if self._pending else None
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when a forming batch has outlived ``max_delay_ms``."""
+        if not self._pending:
+            return False
+        return (now if now is not None else self.clock()) >= self._deadline
+
+    def take(self) -> List[PendingRequest]:
+        """Drain the forming batch (resets the delay clock to idle)."""
+        batch, self._pending = self._pending, []
+        self._pending_keys = 0
+        self._deadline = None
+        return batch
+
+
+# --------------------------------------------------------------------------
+# Array math: merge with dedup, scatter back
+# --------------------------------------------------------------------------
+def merge_requests(
+    key_names: Sequence[str], requests: Sequence[PendingRequest],
+) -> Tuple[Dict[str, np.ndarray], np.ndarray, List[Tuple[int, int]]]:
+    """Coalesce requests into one deduped key batch.
+
+    Returns ``(unique_cols, inverse, slices)``: the deduped batch to
+    look up, the map from every merged position to its unique row, and
+    each request's ``[lo, hi)`` slice of the merged order.  Request
+    ``i``'s rows come back as ``unique_result[inverse[lo:hi]]``.
+    """
+    key_names = tuple(key_names)
+    merged = {name: np.concatenate([r.key_cols[name] for r in requests])
+              for name in key_names}
+    slices: List[Tuple[int, int]] = []
+    lo = 0
+    for request in requests:
+        slices.append((lo, lo + request.n_keys))
+        lo += request.n_keys
+    total = lo
+    if total == 0:
+        empty = {name: np.empty(0, dtype=np.int64) for name in key_names}
+        return empty, np.empty(0, dtype=np.intp), slices
+    if len(key_names) == 1:
+        name = key_names[0]
+        unique, inverse = np.unique(merged[name], return_inverse=True)
+        unique_cols = {name: unique}
+    else:
+        stacked = np.stack([merged[name] for name in key_names], axis=1)
+        unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        unique_cols = {name: np.ascontiguousarray(unique[:, i])
+                       for i, name in enumerate(key_names)}
+    # numpy 2.0 briefly shaped the axis-aware inverse (n, 1); flatten so
+    # downstream fancy indexing sees positions on every version.
+    return unique_cols, np.asarray(inverse).reshape(-1), slices
+
+
+def scatter_result(result: LookupResult, inverse: np.ndarray,
+                   lo: int, hi: int) -> LookupResult:
+    """One request's bit-identical slice of the deduped batch result."""
+    idx = inverse[lo:hi]
+    return LookupResult(
+        found=result.found[idx],
+        values={name: arr[idx] for name, arr in result.values.items()},
+    )

@@ -1,0 +1,53 @@
+"""Admission policy for the coalescing lookup server.
+
+Micro-batching trades a bounded amount of queueing delay for the fused
+kernel's large-batch throughput (BENCH_lookup / BENCH_pipeline: keys/s
+scales strongly with batch size).  :class:`AdmissionPolicy` holds that
+trade-off as two knobs:
+
+- ``max_batch_keys`` — a forming batch that reaches this many merged
+  keys flushes immediately (the size trigger; protects tail latency of
+  the requests already queued when traffic is heavy);
+- ``max_delay_ms`` — the oldest queued request never waits longer than
+  this before its batch flushes (the time trigger; bounds added latency
+  when traffic is light).
+
+An idle server has no timers armed at all: the delay clock starts when
+the *first* request of a batch is admitted, so there are zero wakeups
+without traffic (asserted by ``tests/serve/test_policy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AdmissionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs bounding how long and how large a coalesced batch may grow."""
+
+    #: Flush as soon as the forming batch holds this many keys (summed
+    #: over queued requests, before cross-request dedup).
+    max_batch_keys: int = 8192
+    #: Flush at most this many milliseconds after the batch's first
+    #: request was admitted, even if the batch is still small.
+    max_delay_ms: float = 2.0
+    #: Refuse admission once this many requests are queued in the
+    #: forming batch (back-pressure; ``None`` = unbounded).
+    max_queue_requests: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_batch_keys < 1:
+            raise ValueError("max_batch_keys must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if self.max_queue_requests is not None and self.max_queue_requests < 1:
+            raise ValueError("max_queue_requests must be >= 1 or None")
+
+    @property
+    def max_delay_seconds(self) -> float:
+        """``max_delay_ms`` in the seconds every clock in the repo uses."""
+        return self.max_delay_ms / 1000.0

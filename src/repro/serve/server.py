@@ -1,0 +1,294 @@
+"""Asyncio front end: admit tiny lookups, flush fused batches.
+
+:class:`LookupServer` is the serving tier over one shared store (any
+:class:`~repro.store.protocol.DataStore`, typically
+``repro.open(url, writable=False)``).  Many concurrent ``await
+server.lookup(keys)`` calls are coalesced by the
+:class:`~repro.serve.batcher.Batcher` under the
+:class:`~repro.serve.policy.AdmissionPolicy` triggers, executed as *one*
+store lookup per flush on the store's executor **coordinator lane**
+(``store.lookup_async`` — the fan-out lane underneath still spreads
+shards across workers, and the event loop never blocks on kernels), and
+scattered back to each awaiting future bit-identically.
+
+Failure containment, in order of distance from the caller:
+
+- malformed keys (wrong dtype/shape/columns) raise at admission, inside
+  the caller's own ``await`` — the forming batch never sees them;
+- a merged store call that fails does **not** fail its batchmates: the
+  flush falls back to per-request isolation, so only requests that fail
+  on their own keys see the error (``stats.batch_fallbacks`` counts
+  these);
+- :meth:`LookupServer.aclose` cancels queued requests (callers get
+  ``CancelledError``), refuses new admissions (``RuntimeError``), and
+  drains in-flight batches — never a hang.
+
+:class:`Client` wraps a server (plus a dedicated event-loop thread) in a
+synchronous handle, so tests, benchmarks, and embedding applications use
+the coalescing tier without writing any asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional, Union
+
+from ..core.deep_mapping import LookupResult
+from .batcher import (Batcher, PendingRequest, merge_requests,
+                      normalize_request_keys, scatter_result)
+from .policy import AdmissionPolicy
+from .stats import ServeStats
+
+__all__ = ["LookupServer", "Client"]
+
+DEFAULT_TENANT = "default"
+
+
+class LookupServer:
+    """Coalescing lookup service over one shared read store.
+
+    Single-loop confined: every method except ``stats`` must run on the
+    event loop the server bound at first use (the :class:`Client` and
+    the TCP transport arrange this).  The server never polls — it arms
+    exactly one timer per forming batch and none while idle.
+    """
+
+    def __init__(self, store, policy: Optional[AdmissionPolicy] = None,
+                 stats: Optional[ServeStats] = None):
+        self.store = store
+        self.policy = policy or AdmissionPolicy()
+        self.stats = stats or ServeStats()
+        self._batcher = Batcher(self.policy)
+        self._key_names = tuple(store.key_names)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def lookup(self, keys, tenant: str = DEFAULT_TENANT) -> LookupResult:
+        """Admit one request; resolves when its batch has been served.
+
+        Results are bit-identical to ``store.lookup(keys)`` — same
+        ``found`` mask, same value arrays, input order preserved.
+        """
+        loop = asyncio.get_running_loop()
+        self._bind(loop)
+        if self._closed:
+            raise RuntimeError("lookup server is closed")
+        try:
+            key_cols = normalize_request_keys(keys, self._key_names)
+        except (TypeError, ValueError, KeyError):
+            self.stats.record_reject(tenant)
+            raise
+        future: asyncio.Future = loop.create_future()
+        request = PendingRequest(key_cols, tenant, future, loop.time())
+        try:
+            flush_now = self._batcher.add(request)
+        except RuntimeError:  # QueueFullError — back-pressure
+            self.stats.record_reject(tenant)
+            raise
+        self.stats.record_admit(tenant, request.n_keys)
+        if flush_now:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_at(self._batcher.deadline(),
+                                       self._on_timer)
+        return await future
+
+    def _bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._loop is None:
+            self._loop = loop
+            # The batcher's deadlines must be on the loop's clock so
+            # call_at() and due() agree on "now".
+            self._batcher.clock = loop.time
+        elif self._loop is not loop:
+            raise RuntimeError("LookupServer is bound to another event loop")
+
+    # ------------------------------------------------------------------
+    # Flush path
+    # ------------------------------------------------------------------
+    def _on_timer(self) -> None:
+        """Delay trigger fired: flush whatever has formed."""
+        self._timer = None
+        self.stats.record_wakeup()
+        if len(self._batcher):
+            self._flush()
+
+    def _flush(self) -> None:
+        """Drain the forming batch into one in-flight execution task."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._batcher.take()
+        if not batch:
+            return
+        task = self._loop.create_task(self._execute(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _execute(self, batch) -> None:
+        unique_cols, inverse, slices = merge_requests(self._key_names, batch)
+        n_unique = int(next(iter(unique_cols.values())).size)
+        n_keys = slices[-1][1] if slices else 0
+        self.stats.record_batch(len(batch), n_keys, n_unique)
+        try:
+            # Coordinator lane: the store's executor runs the fused
+            # batch off-loop; shard fan-out uses its separate worker
+            # lane, so this await cannot deadlock the pool.
+            result = await asyncio.wrap_future(
+                self.store.lookup_async(unique_cols))
+        except asyncio.CancelledError:
+            self._fail_batch(batch, asyncio.CancelledError())
+            raise
+        except Exception:
+            # Poison containment: one request's keys (or a store hiccup)
+            # must not fail the whole batch — re-run each request alone.
+            self.stats.record_fallback()
+            await self._execute_individually(batch)
+            return
+        now = self._loop.time()
+        for request, (lo, hi) in zip(batch, slices):
+            if request.future.done():
+                continue
+            request.future.set_result(
+                scatter_result(result, inverse, lo, hi))
+            self.stats.record_done(request.tenant, now - request.admitted_at)
+
+    async def _execute_individually(self, batch) -> None:
+        """Fallback: serve each request of a failed batch in isolation."""
+        for request in batch:
+            if request.future.done():
+                continue
+            try:
+                result = await asyncio.wrap_future(
+                    self.store.lookup_async(request.key_cols))
+            except asyncio.CancelledError:
+                self._fail_batch(batch, asyncio.CancelledError())
+                raise
+            except Exception as exc:
+                request.future.set_exception(exc)
+                self.stats.record_error(request.tenant)
+                continue
+            request.future.set_result(result)
+            self.stats.record_done(
+                request.tenant, self._loop.time() - request.admitted_at)
+
+    @staticmethod
+    def _fail_batch(batch, exc: BaseException) -> None:
+        for request in batch:
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued, armed, or in flight."""
+        return (len(self._batcher) == 0 and self._timer is None
+                and not self._inflight)
+
+    @property
+    def timer_armed(self) -> bool:
+        """True while a delay-trigger wakeup is scheduled."""
+        return self._timer is not None
+
+    async def aclose(self) -> None:
+        """Refuse new work, cancel queued requests, drain in-flight.
+
+        Queued-but-unflushed callers get ``CancelledError``; batches
+        already executing finish normally.  Idempotent; never hangs.
+        """
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        for request in self._batcher.take():
+            if not request.future.done():
+                request.future.cancel()
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight),
+                                 return_exceptions=True)
+
+
+class Client:
+    """Synchronous in-process handle on a coalescing lookup server.
+
+    Owns a dedicated event-loop thread; any number of caller threads may
+    invoke :meth:`lookup` concurrently and their requests coalesce on
+    that loop.  ``close_store=True`` makes :meth:`close` also close the
+    wrapped store (the ``repro.serving()`` facade uses this — it opened
+    the store, so the handle owns it).
+    """
+
+    def __init__(self, store, policy: Optional[AdmissionPolicy] = None,
+                 stats: Optional[ServeStats] = None, *,
+                 close_store: bool = False):
+        self.server = LookupServer(store, policy=policy, stats=stats)
+        self._close_store = close_store
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-client",
+                                        daemon=True)
+        self._closed = False
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        return self.server.store
+
+    @property
+    def stats(self) -> ServeStats:
+        return self.server.stats
+
+    def lookup(self, keys, tenant: str = DEFAULT_TENANT) -> LookupResult:
+        """Coalesced lookup; blocks until the batch is served."""
+        return self.submit(keys, tenant).result()
+
+    def submit(self, keys, tenant: str = DEFAULT_TENANT):
+        """Admit without blocking; returns a ``concurrent.futures.Future``.
+
+        The handle for driving many in-flight requests from one thread
+        (the concurrency harness and the benchmark both build on it).
+        """
+        if self._closed:
+            raise RuntimeError("serving client is closed")
+        return asyncio.run_coroutine_threadsafe(
+            self.server.lookup(keys, tenant), self._loop)
+
+    def lookup_one(self, **key_parts) -> Optional[Dict[str, object]]:
+        """Single-row convenience mirroring ``DataStore.lookup_one``."""
+        import numpy as np
+        if set(key_parts) != set(self.server._key_names):
+            raise KeyError(f"expected key columns {self.server._key_names}")
+        keys = {name: np.array([value], dtype=np.int64)
+                for name, value in key_parts.items()}
+        return next(self.lookup(keys).rows())
+
+    def close(self) -> None:
+        """Shut the server down and stop the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        if self._close_store:
+            self.store.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

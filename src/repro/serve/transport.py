@@ -1,0 +1,254 @@
+"""TCP/JSON-lines transport for the coalescing lookup server.
+
+Wire format: one JSON object per ``\\n``-terminated line, both ways.
+
+Request fields:
+
+- ``id`` — opaque; echoed on the response so pipelined requests match up;
+- ``op`` — ``"lookup"`` (default), ``"stats"``, or ``"ping"``;
+- ``keys`` — ``{column: [int, ...]}`` for lookups;
+- ``tenant`` — optional stats bucket (defaults to the server default).
+
+Responses carry the echoed ``id`` plus either ``found``/``values``
+(lookup), ``stats`` (a :meth:`~repro.serve.stats.ServeStats.snapshot`),
+``pong`` (ping), or ``error`` (a message string; the connection stays
+open — one bad request fails alone, same containment as in-process).
+
+Every request line becomes its own task on the server loop, so requests
+pipelined on one connection — and across connections — coalesce into the
+same fused batches as in-process callers.  :class:`TCPClient` is the
+synchronous counterpart used by tests, the benchmark's network mode, and
+anyone poking a server with a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, Optional
+
+import numpy as np
+
+from .server import DEFAULT_TENANT, LookupServer
+
+__all__ = ["serve_tcp", "TCPClient", "BackgroundTCPServer", "encode_result"]
+
+#: Refuse lines longer than this (64 MiB) instead of buffering forever.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def encode_result(result) -> Dict[str, list]:
+    """JSON-encodable form of a :class:`LookupResult`."""
+    return {
+        "found": [bool(f) for f in result.found],
+        "values": {name: np.asarray(arr).tolist()
+                   for name, arr in result.values.items()},
+    }
+
+
+async def _handle_line(server: LookupServer, line: bytes) -> Dict:
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"id": None, "error": f"bad JSON: {exc}"}
+    request_id = message.get("id")
+    op = message.get("op", "lookup")
+    try:
+        if op == "ping":
+            return {"id": request_id, "pong": True}
+        if op == "stats":
+            return {"id": request_id, "stats": server.stats.snapshot()}
+        if op != "lookup":
+            return {"id": request_id, "error": f"unknown op {op!r}"}
+        raw = message.get("keys")
+        if not isinstance(raw, dict):
+            return {"id": request_id,
+                    "error": "lookup needs keys: {column: [ints]}"}
+        keys = {name: np.asarray(values) for name, values in raw.items()}
+        result = await server.lookup(keys, message.get("tenant",
+                                                       DEFAULT_TENANT))
+        response = {"id": request_id}
+        response.update(encode_result(result))
+        return response
+    except asyncio.CancelledError:
+        return {"id": request_id, "error": "server closed"}
+    except Exception as exc:  # containment: this request fails alone
+        return {"id": request_id, "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve_tcp(server: LookupServer, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.AbstractServer:
+    """Start listening; returns the asyncio server (caller owns lifetime).
+
+    ``port=0`` picks a free port — read it back from
+    ``tcp_server.sockets[0].getsockname()[1]``.
+    """
+
+    async def handle_connection(reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+
+        async def respond(line: bytes) -> None:
+            response = await _handle_line(server, line)
+            payload = (json.dumps(response) + "\n").encode()
+            async with write_lock:
+                writer.write(payload)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    break
+                # One task per request: pipelined lines coalesce instead
+                # of serializing behind each other's batch.
+                task = asyncio.ensure_future(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    return await asyncio.start_server(handle_connection, host, port,
+                                      limit=MAX_LINE_BYTES)
+
+
+class BackgroundTCPServer:
+    """A TCP lookup server on its own event-loop thread.
+
+    The embeddable form of ``python -m repro serve``: tests and
+    benchmarks start one in-process, connect :class:`TCPClient`\\ s to
+    ``.port``, and tear it down with :meth:`close` (which drains
+    in-flight batches before stopping the loop).
+    """
+
+    def __init__(self, store, policy=None, stats=None,
+                 host: str = "127.0.0.1", port: int = 0):
+        import threading
+
+        self.server = LookupServer(store, policy=policy, stats=stats)
+        self.host = host
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-tcp", daemon=True)
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            serve_tcp(self.server, host, port), self._loop)
+        self._tcp = future.result(timeout=30)
+        self.port: int = self._tcp.sockets[0].getsockname()[1]
+        self._closed = False
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    @property
+    def stats(self):
+        return self.server.stats
+
+    def connect(self, timeout: Optional[float] = 30.0) -> "TCPClient":
+        """A fresh blocking client bound to this server."""
+        return TCPClient(self.host, self.port, timeout=timeout)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _shutdown() -> None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            await self.server.aclose()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(),
+                                         self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "BackgroundTCPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TCPClient:
+    """Blocking JSON-lines client for one server connection.
+
+    One request at a time per client instance; spin up one client per
+    thread for concurrency (responses are matched by ``id``, so even a
+    shared connection would stay coherent — this class just keeps the
+    sync API simple).
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def _call(self, message: Dict) -> Dict:
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        self._file.write((json.dumps(message) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise RuntimeError(f"response id {response.get('id')!r} does not "
+                               f"match request id {self._next_id}")
+        return response
+
+    def lookup(self, keys: Dict, tenant: Optional[str] = None) -> Dict:
+        """Lookup; returns ``{"found": [...], "values": {col: [...]}}``.
+
+        Raises ``RuntimeError`` when the server answered with an error.
+        """
+        message: Dict = {"op": "lookup",
+                         "keys": {name: np.asarray(values).tolist()
+                                  for name, values in keys.items()}}
+        if tenant is not None:
+            message["tenant"] = tenant
+        response = self._call(message)
+        if "error" in response:
+            raise RuntimeError(response["error"])
+        return response
+
+    def stats(self) -> Dict:
+        """The server's live :meth:`ServeStats.snapshot`."""
+        response = self._call({"op": "stats"})
+        if "error" in response:
+            raise RuntimeError(response["error"])
+        return response["stats"]
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

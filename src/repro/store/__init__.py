@@ -26,13 +26,14 @@ from .deprecation import reset_warnings, warn_once
 from .executors import (EXECUTOR_NAMES, ExecutorStrategy,
                         FreeThreadingStrategy, SerialStrategy,
                         ThreadPoolStrategy, gil_enabled, make_executor)
-from .facade import build_store, describe_target, open_store
+from .facade import build_store, describe_target, open_store, serving
 from .protocol import DataStore
 
 __all__ = [
     "DataStore",
     "open_store",
     "build_store",
+    "serving",
     "describe_target",
     "StorageBackend",
     "LocalDirBackend",

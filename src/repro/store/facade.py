@@ -32,7 +32,7 @@ from ..storage.backends import (MONOLITHIC_BLOB, URL_SCHEMES, LocalDirBackend,
 from .executors import ExecutorStrategy
 from .protocol import DataStore
 
-__all__ = ["open_store", "build_store", "describe_target"]
+__all__ = ["open_store", "build_store", "serving", "describe_target"]
 
 #: Blob name that marks a container as a sharded store (mirrors
 #: ``repro.shard.manifest.MANIFEST_NAME``; duplicated here so the facade
@@ -184,3 +184,44 @@ def build_store(
     if url is not None:
         store.save(url)
     return store
+
+
+def serving(
+    target,
+    *,
+    policy=None,
+    stats=None,
+    executor: Union[str, ExecutorStrategy, None] = None,
+    max_workers: Optional[int] = None,
+    pool_budget_bytes: Optional[int] = None,
+):
+    """A coalescing serving handle over a store: the third facade verb.
+
+    ``open`` reads, ``build`` writes, ``serving`` *serves*: many caller
+    threads share one :class:`~repro.serve.server.Client` whose
+    :class:`~repro.serve.server.LookupServer` merges their small
+    concurrent lookups into fused batches (see :mod:`repro.serve` and
+    ``docs/serving.md``).
+
+    ``target`` is a store URL/path — opened read-only through the shared
+    payload cache, and closed again by ``Client.close()`` — or an
+    already-open :class:`~repro.store.protocol.DataStore`, which stays
+    caller-owned.  ``policy`` is an
+    :class:`~repro.serve.policy.AdmissionPolicy` (default: 8192 keys /
+    2 ms); ``stats`` an optional shared
+    :class:`~repro.serve.stats.ServeStats` sink.
+    """
+    from ..serve.server import Client
+    from .protocol import DataStore as _DataStore
+
+    if isinstance(target, str):
+        store = open_store(target, max_workers=max_workers,
+                           pool_budget_bytes=pool_budget_bytes,
+                           executor=executor, writable=False)
+        return Client(store, policy=policy, stats=stats, close_store=True)
+    if isinstance(target, _DataStore):
+        if executor is not None:
+            target.set_executor(executor)
+        return Client(target, policy=policy, stats=stats, close_store=False)
+    raise TypeError("serving() takes a store URL/path or an open DataStore; "
+                    f"got {type(target).__name__}")

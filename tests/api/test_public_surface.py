@@ -24,6 +24,7 @@ EXPECTED_ALL = {
     "build",
     "open_store",
     "build_store",
+    "serving",
     "DataStore",
     "DeepMapping",
     "DeepMappingConfig",
@@ -44,6 +45,7 @@ EXPECTED_ALL = {
     "data",
     "lifecycle",
     "nn",
+    "serve",
     "shard",
     "storage",
     "store",

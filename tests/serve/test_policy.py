@@ -1,0 +1,141 @@
+"""Admission-policy behavior under a fake clock.
+
+The :class:`~repro.serve.batcher.Batcher` is event-loop-free by design:
+these tests advance a fake monotonic clock explicitly and check the two
+flush triggers and the idle contract — then one real-loop test pins the
+"zero busy-wait wakeups while idle" claim on the live server.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serve import AdmissionPolicy, Batcher, QueueFullError
+from repro.serve.batcher import PendingRequest, normalize_request_keys
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def request(n_keys: int, tenant: str = "t") -> PendingRequest:
+    keys = normalize_request_keys(
+        {"sku": np.arange(n_keys, dtype=np.int64)}, ("sku",))
+    return PendingRequest(keys, tenant, future=None, admitted_at=0.0)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_batch_keys=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_delay_ms=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_requests=0)
+
+    def test_delay_converts_to_seconds(self):
+        assert AdmissionPolicy(max_delay_ms=250.0).max_delay_seconds == 0.25
+
+
+class TestDelayTrigger:
+    def test_partial_batch_flushes_at_deadline(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_delay_ms=5.0), clock=clock)
+        assert batcher.add(request(3)) is False
+        assert batcher.deadline() == pytest.approx(clock.now + 0.005)
+        clock.advance(0.004)
+        assert not batcher.due()
+        clock.advance(0.002)
+        assert batcher.due()
+        batch = batcher.take()
+        assert [r.n_keys for r in batch] == [3]
+
+    def test_later_requests_do_not_extend_the_deadline(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_delay_ms=5.0), clock=clock)
+        batcher.add(request(1))
+        first_deadline = batcher.deadline()
+        clock.advance(0.003)
+        batcher.add(request(1))  # the oldest waiter still bounds the delay
+        assert batcher.deadline() == first_deadline
+
+    def test_take_resets_the_clock(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_delay_ms=5.0), clock=clock)
+        batcher.add(request(1))
+        batcher.take()
+        assert batcher.deadline() is None
+        assert not batcher.due()
+        # A fresh batch starts a fresh window from "now".
+        clock.advance(60.0)
+        batcher.add(request(1))
+        assert batcher.deadline() == pytest.approx(clock.now + 0.005)
+
+
+class TestSizeTrigger:
+    def test_reaching_max_batch_keys_flushes_early(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=10,
+                                          max_delay_ms=1000.0), clock=clock)
+        assert batcher.add(request(4)) is False
+        assert batcher.add(request(5)) is False
+        assert batcher.add(request(1)) is True  # 10 keys: flush now
+        assert batcher.pending_keys == 10
+        assert len(batcher.take()) == 3
+
+    def test_single_oversized_request_flushes_immediately(self):
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=8), clock=FakeClock())
+        assert batcher.add(request(64)) is True
+
+    def test_queue_bound_rejects_without_dropping_queued(self):
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_queue_requests=2),
+                          clock=FakeClock())
+        batcher.add(request(1))
+        batcher.add(request(1))
+        with pytest.raises(QueueFullError):
+            batcher.add(request(1))
+        assert len(batcher) == 2  # the queued pair is untouched
+
+
+class TestIdleContract:
+    def test_idle_batcher_has_no_deadline(self):
+        batcher = Batcher(AdmissionPolicy(), clock=FakeClock())
+        assert batcher.deadline() is None
+        assert not batcher.due()
+
+    def test_idle_server_schedules_zero_wakeups(self, sharded_store):
+        """An idle server must not poll: no timer armed, no wakeups."""
+        with repro.serving(sharded_store,
+                           policy=AdmissionPolicy(max_delay_ms=1.0)) as client:
+            server = client.server
+            time.sleep(0.2)  # plenty of 1 ms windows to wake up in, if polling
+            assert server.stats.timer_wakeups == 0
+            assert not server.timer_armed
+            assert server.idle
+            # One small request arms exactly one timer, which fires once.
+            client.lookup({"sku": np.array([3], dtype=np.int64)})
+            assert server.stats.timer_wakeups <= 1
+            time.sleep(0.05)
+            assert server.stats.timer_wakeups <= 1  # no residual polling
+            assert not server.timer_armed
+
+    def test_size_triggered_flush_needs_no_wakeup(self, sharded_store):
+        """A full batch flushes inline — the armed timer is cancelled."""
+        policy = AdmissionPolicy(max_batch_keys=4, max_delay_ms=60_000.0)
+        with repro.serving(sharded_store, policy=policy) as client:
+            client.lookup({"sku": np.arange(4, dtype=np.int64) * 3})
+            assert client.stats.batches_formed == 1
+            assert client.stats.timer_wakeups == 0
+            assert not client.server.timer_armed
