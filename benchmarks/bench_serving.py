@@ -51,6 +51,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 ACCEPTANCE_SPEEDUP = 2.0   # coalesced vs sequential at 64 clients, full run
 ACCEPTANCE_CLIENTS = 64
 SMOKE_FLOOR = 1.0          # CI gate: coalesced must not lose to sequential
+#: Healthy-path cost of the resilience layer: arming a (generous)
+#: per-request deadline must not move p50 by more than this at the top
+#: concurrency level.  Gated on full runs only — smoke runs record the
+#: number but p50s there are too small/noisy for a 3% gate.
+OVERHEAD_LIMIT_PCT = 3.0
+OVERHEAD_DEADLINE_MS = 30_000.0
 
 
 def bench_config(smoke: bool) -> DeepMappingConfig:
@@ -128,9 +134,11 @@ def run_sequential_baseline(store, workload):
     }
 
 
-def run_coalesced(store, workload, policy):
+def run_coalesced(store, workload, policy, deadline_ms=None):
     """The same workload offered by concurrent closed-loop clients
-    through the coalescing server; parity asserted on every response."""
+    through the coalescing server; parity asserted on every response.
+    ``deadline_ms`` arms a per-request budget on every lookup (the
+    resilience-overhead variant)."""
     stats = ServeStats()
     oracle = [[store.lookup(query) for query in client]
               for client in workload]
@@ -145,7 +153,7 @@ def run_coalesced(store, workload, policy):
             barrier.wait()
             for query, want in zip(workload[index], oracle[index]):
                 t0 = time.perf_counter()
-                got = client.lookup(query)
+                got = client.lookup(query, deadline_ms=deadline_ms)
                 mine.append(time.perf_counter() - t0)
                 try:
                     assert_identical(got, want, f"client {index}")
@@ -206,6 +214,30 @@ def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
     # per-request baseline at any concurrency level.
     speedup = top["requests_per_second"] / baseline["requests_per_second"]
 
+    # Resilience overhead: the same top-level run, back to back, plain
+    # vs with a generous per-request deadline armed.  Fresh plain run so
+    # both sides are equally warm.
+    n_top = top["clients"]
+    plain = run_coalesced(store, workload[:n_top], policy)
+    armed = run_coalesced(store, workload[:n_top], policy,
+                          deadline_ms=OVERHEAD_DEADLINE_MS)
+    overhead_pct = (armed["p50_ms"] - plain["p50_ms"]) \
+        / plain["p50_ms"] * 100.0
+    overhead = {
+        "metric": ("p50 request latency with a per-request deadline armed "
+                   f"vs without, at {n_top} concurrent clients"),
+        "deadline_ms": OVERHEAD_DEADLINE_MS,
+        "clients": n_top,
+        "p50_ms_plain": plain["p50_ms"],
+        "p50_ms_with_deadline": armed["p50_ms"],
+        "p99_ms_plain": plain["p99_ms"],
+        "p99_ms_with_deadline": armed["p99_ms"],
+        "p50_overhead_pct": overhead_pct,
+        "limit_pct": OVERHEAD_LIMIT_PCT,
+        # Gated on full runs; recorded-only on smoke (tiny p50s, noisy).
+        "passed": smoke or overhead_pct <= OVERHEAD_LIMIT_PCT,
+    }
+
     report = {
         "benchmark": "serving",
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -220,6 +252,7 @@ def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
         },
         "sequential_baseline": baseline,
         "coalesced_by_level": by_level,
+        "resilience_overhead": overhead,
         "acceptance": {
             "metric": ("coalesced serving throughput vs sequential "
                        f"per-request lookups at {top['clients']} "
@@ -231,7 +264,8 @@ def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
             "passed": (speedup >= ACCEPTANCE_SPEEDUP
                        and top["coalesce_ratio"] > 1.0
                        and top["clients"] >= (1 if smoke
-                                              else ACCEPTANCE_CLIENTS)),
+                                              else ACCEPTANCE_CLIENTS)
+                       and overhead["passed"]),
         },
     }
 
@@ -253,6 +287,10 @@ def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
     ))
     print(f"coalesced vs sequential at {top['clients']} clients: "
           f"{speedup:.2f}x (coalesce ratio {top['coalesce_ratio']:.2f})")
+    print(f"resilience overhead at {n_top} clients: p50 "
+          f"{plain['p50_ms']:.3f} ms plain vs {armed['p50_ms']:.3f} ms "
+          f"with deadline ({overhead_pct:+.2f}%, limit "
+          f"{OVERHEAD_LIMIT_PCT:.0f}% on full runs)")
 
     store.close()
     return report
@@ -317,9 +355,18 @@ def main() -> int:
               f"(target {ACCEPTANCE_SPEEDUP}x) at "
               f"{report['acceptance']['clients']} clients")
         return 1
+    overhead = report["resilience_overhead"]
+    if not overhead["passed"]:
+        print(f"OVERHEAD GATE FAILED: deadline-armed p50 is "
+              f"{overhead['p50_overhead_pct']:+.2f}% vs plain at "
+              f"{overhead['clients']} clients "
+              f"(limit {overhead['limit_pct']:.0f}%)")
+        return 1
     print(f"acceptance: coalesced {speedup:.2f}x sequential "
           f"(target >= {ACCEPTANCE_SPEEDUP}x) at "
-          f"{report['acceptance']['clients']} clients")
+          f"{report['acceptance']['clients']} clients; resilience "
+          f"overhead {overhead['p50_overhead_pct']:+.2f}% p50 "
+          f"(limit {overhead['limit_pct']:.0f}%)")
     return 0
 
 

@@ -63,11 +63,16 @@ def _headline(name, data):
                 f"{pipeline}; {warm}")
     if name == "serving":
         ratio = _fmt(acceptance.get("coalesce_ratio"), "x")
+        measured = (f"{_fmt(acceptance.get('measured'), 'x')} "
+                    f"(coalesce {ratio})")
+        overhead = data.get("resilience_overhead", {})
+        if overhead.get("p50_overhead_pct") is not None:
+            measured += (f"; deadline p50 "
+                         f"{overhead['p50_overhead_pct']:+.1f}%")
         return (f"coalesced vs sequential lookups, "
                 f"{acceptance.get('clients', '?')} clients",
                 f">= {_fmt(acceptance.get('target'), 'x')}",
-                f"{_fmt(acceptance.get('measured'), 'x')} "
-                f"(coalesce {ratio})")
+                measured)
     return (acceptance.get("metric", "(acceptance)"),
             _fmt(acceptance.get("target")),
             _fmt(acceptance.get("measured")))

@@ -22,6 +22,13 @@ Public API highlights
   coalescing lookup server that merges many small concurrent requests
   into fused batches over a shared read-only store (in-process client,
   TCP/JSON-lines transport, ``python -m repro serve`` CLI).
+- :mod:`repro.resilience` — the failure-handling layer every tier
+  shares: :class:`repro.Deadline` budgets, :func:`repro.retry` with
+  jittered backoff, per-backend :class:`repro.CircuitBreaker`\\ s,
+  :class:`repro.PartialResult` shard fault isolation, and the typed
+  error taxonomy (:class:`repro.StoreCorruptedError`,
+  :class:`repro.StoreNotFoundError`, :class:`repro.DeadlineExceeded`).
+  :mod:`repro.testing` holds the matching chaos-injection doubles.
 - :mod:`repro.storage` — storage substrate, including the pluggable
   :class:`~repro.storage.StorageBackend` persistence layer.
 - :mod:`repro.core.mhas` — multi-task hybrid architecture search.
@@ -53,8 +60,8 @@ True
 
 __version__ = "1.1.0"
 
-from . import (baselines, bench, core, data, lifecycle, nn, serve, shard,
-               storage, store)
+from . import (baselines, bench, core, data, lifecycle, nn, resilience,
+               serve, shard, storage, store, testing)
 from .core import (
     DeepMapping,
     DeepMappingConfig,
@@ -67,6 +74,9 @@ from .core import (
 )
 from .data import ColumnTable
 from .lifecycle import LifecycleConfig, MaintenanceEngine
+from .resilience import (CircuitBreaker, Deadline, DeadlineExceeded,
+                         PartialResult, RetryPolicy, StoreCorruptedError,
+                         StoreNotFoundError, retry)
 from .shard import ShardedDeepMapping, ShardingConfig
 from .store import DataStore, build_store, open_store, serving
 from .store import build_store as build
@@ -93,14 +103,24 @@ __all__ = [
     "lookup_range",
     "build_range_view",
     "ColumnTable",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "retry",
+    "CircuitBreaker",
+    "PartialResult",
+    "StoreCorruptedError",
+    "StoreNotFoundError",
     "baselines",
     "bench",
     "core",
     "data",
     "lifecycle",
     "nn",
+    "resilience",
     "serve",
     "shard",
     "storage",
     "store",
+    "testing",
 ]

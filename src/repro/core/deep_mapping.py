@@ -33,6 +33,7 @@ from ..nn.multitask import ArchitectureSpec, MultiTaskMLP
 from ..nn.optimizers import Adam, ExponentialDecay
 from ..nn.training import Trainer
 from ..storage import zerocopy
+from ..resilience.errors import StoreNotFoundError
 from ..storage.backends import read_blob_view, resolve_blob_url
 from ..storage.blob_cache import payload_cache
 from ..storage.buffer_pool import BufferPool
@@ -1108,8 +1109,8 @@ class DeepMapping:
                                         aux_name_prefix=aux_name_prefix)
             payload = backend.read_bytes(blob)
         except KeyError:
-            raise FileNotFoundError(f"no DeepMapping payload at "
-                                    f"{target!r}") from None
+            raise StoreNotFoundError(f"no DeepMapping payload at "
+                                     f"{target!r}") from None
         return cls.from_payload(payload, disk=disk, pool=pool, stats=stats,
                                 aux_name_prefix=aux_name_prefix)
 

@@ -1,0 +1,134 @@
+"""Circuit breaker: stop calling a callee that keeps failing.
+
+The classic three-state machine, one instance per protected resource
+(a shard ordinal, a storage backend):
+
+- **closed** — calls flow; consecutive failures are counted.
+- **open** — after ``failure_threshold`` consecutive failures, calls are
+  refused (:class:`CircuitOpenError`) for ``reset_timeout`` seconds.
+  Refusal is the point: the caller fails in microseconds instead of
+  stacking timeouts on a dead backend.
+- **half-open** — after the timeout, a limited number of probe calls are
+  let through.  A probe success closes the circuit; a probe failure
+  reopens it for another full timeout.
+
+Thread-safe; the clock is injectable so tests drive state transitions
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, TypeVar
+
+from .errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-resource failure gate with automatic recovery probing."""
+
+    def __init__(self, name: str = "breaker", *,
+                 failure_threshold: int = 5,
+                 reset_timeout: float = 30.0,
+                 half_open_max: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_max = int(half_open_max)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0          # consecutive, while closed
+        self._opened_at = 0.0
+        self._probes = 0            # in flight, while half-open
+
+    # -- state -------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._poll()
+
+    def _poll(self) -> str:
+        """Advance open -> half-open on timeout (lock held)."""
+        if self._state == OPEN and \
+                self.clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+            self._probes = 0
+        return self._state
+
+    # -- protocol ----------------------------------------------------------
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open admits at most
+        ``half_open_max`` concurrent probes."""
+        with self._lock:
+            state = self._poll()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            if self._probes < self.half_open_max:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._probes = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._poll()
+            if state == HALF_OPEN:
+                # The probe failed: back to a full open period.
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._probes = 0
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self.clock()
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker, refusing when open."""
+        if not self.allow():
+            with self._lock:
+                wait = max(0.0, self.reset_timeout
+                           - (self.clock() - self._opened_at))
+            raise CircuitOpenError(
+                f"{self.name}: circuit open after "
+                f"{self.failure_threshold} consecutive failures; "
+                f"retry in {wait:.1f}s")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force-close (operator override / test teardown)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probes = 0
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+                f"threshold={self.failure_threshold})")

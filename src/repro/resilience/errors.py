@@ -1,0 +1,78 @@
+"""Typed failure taxonomy for the store, shard, and serve layers.
+
+Every error class here deliberately subclasses the stdlib exception the
+pre-resilience code used to leak, so existing ``except`` sites (and the
+tests that pin them) keep working while new code can catch the precise
+condition:
+
+- :class:`StoreNotFoundError` — absent blob / store.  Subclasses both
+  ``KeyError`` (the :class:`~repro.storage.backends.StorageBackend`
+  contract for a missing blob) and ``FileNotFoundError`` (what
+  ``repro.open`` historically raised for an absent store URL).
+- :class:`StoreCorruptedError` — present but unreadable: bad magic,
+  truncation, checksum mismatch, undecompressable partition, broken
+  archive.  Subclasses ``pickle.UnpicklingError`` because that is what
+  every pre-checksum load path surfaced for mangled payloads.
+- :class:`DeadlineExceeded` — a time budget ran out.  Subclasses
+  ``TimeoutError`` so generic timeout handling sees it.
+- :class:`PartialResultError` — a sharded lookup under
+  ``on_shard_error="partial"`` came back with failed keys and the caller
+  asked :meth:`~repro.resilience.partial.PartialResult.raise_if_failed`.
+- :class:`CircuitOpenError` — a :class:`~repro.resilience.breaker.
+  CircuitBreaker` is refusing calls after repeated failures; callers can
+  back off without paying the failing call's latency.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+__all__ = [
+    "ResilienceError",
+    "StoreNotFoundError",
+    "StoreCorruptedError",
+    "DeadlineExceeded",
+    "PartialResultError",
+    "CircuitOpenError",
+]
+
+
+class ResilienceError(Exception):
+    """Mixin root so ``except ResilienceError`` catches the whole family."""
+
+
+class StoreNotFoundError(ResilienceError, KeyError, FileNotFoundError):
+    """A blob or store that should exist does not.
+
+    Messages name the blob and the backend URL (``no blob named 'x' in
+    file:///data/store``) so a fleet operator can tell *which* replica is
+    missing *what* without reproducing locally.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr()-quote it
+        return self.args[0] if len(self.args) == 1 else super().__str__()
+
+
+class StoreCorruptedError(ResilienceError, pickle.UnpicklingError):
+    """A blob exists but its bytes are not what was written.
+
+    Raised for bad container magic, truncation, per-segment checksum
+    mismatches, undecompressable partitions, and broken zip archives.
+    Cache layers (:class:`~repro.storage.blob_cache.BlobCache`,
+    :class:`~repro.storage.buffer_pool.BufferPool`) treat this as a
+    cache-miss-and-retry-once — a torn read racing an atomic replace
+    heals itself — before letting it propagate.
+    """
+
+
+class DeadlineExceeded(ResilienceError, TimeoutError):
+    """A :class:`~repro.resilience.deadline.Deadline` budget ran out."""
+
+
+class PartialResultError(ResilienceError, RuntimeError):
+    """A partial sharded lookup was asked to act like a complete one."""
+
+
+class CircuitOpenError(ResilienceError, ConnectionError):
+    """A circuit breaker is open: the callee failed repeatedly and calls
+    are being refused until the reset timeout elapses."""

@@ -1,0 +1,112 @@
+"""``retry()``: bounded retries with exponential backoff and jitter.
+
+The policy is a frozen value object so call sites can share tuned
+instances (``_BACKEND_READ_RETRY`` in the storage layer, connect retries
+in the TCP client).  Backoff is full-jitter exponential — sleep a
+uniform fraction of ``base_delay * 2**attempt`` — which de-synchronizes
+a thundering herd of readers hitting the same recovering backend.
+
+A :class:`~repro.resilience.deadline.Deadline` caps the whole loop: no
+attempt (or backoff sleep) starts once the budget is spent, and the
+failure surfaces as :class:`DeadlineExceeded` chained from the last real
+error.  A :class:`~repro.resilience.breaker.CircuitBreaker` composes the
+other way around: when it is open, :func:`retry` fails fast with
+:class:`CircuitOpenError` instead of burning attempts on a callee that
+is known-down.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from .deadline import Deadline
+from .errors import CircuitOpenError, DeadlineExceeded
+
+__all__ = ["RetryPolicy", "retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how long, and on what to retry."""
+
+    #: Total attempts, including the first (``1`` = no retries).
+    attempts: int = 3
+    #: First backoff ceiling in seconds; doubles every attempt.
+    base_delay: float = 0.05
+    #: Upper bound any single backoff sleep is clamped to.
+    max_delay: float = 2.0
+    #: Fraction of the exponential ceiling actually slept is drawn from
+    #: ``[1 - jitter, 1]`` — ``1.0`` is full jitter, ``0.0`` none.
+    jitter: float = 1.0
+    #: Exception classes worth retrying; anything else propagates at once.
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,)
+    #: Subclasses of ``retry_on`` that are *definitive* answers, not
+    #: transient faults (e.g. ``StoreNotFoundError`` is a
+    #: ``FileNotFoundError``/``OSError``, but an absent blob will not
+    #: appear by retrying).  They propagate immediately and do not feed
+    #: the breaker.
+    give_up_on: Tuple[Type[BaseException], ...] = ()
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        floor = ceiling * (1.0 - self.jitter)
+        return rng.uniform(floor, ceiling)
+
+
+def retry(fn: Callable[[], T],
+          policy: Optional[RetryPolicy] = None,
+          *,
+          deadline: Optional[Deadline] = None,
+          breaker: Optional["CircuitBreaker"] = None,
+          sleep: Callable[[float], None] = time.sleep,
+          rng: Optional[random.Random] = None) -> T:
+    """Call ``fn()`` until it succeeds, retries are exhausted, the
+    deadline expires, or the breaker opens.
+
+    The breaker observes every attempt (success closes it, failure feeds
+    it) and is consulted before each one, so a backend that dies mid-loop
+    stops being hammered as soon as its breaker trips.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random.Random()
+    last_error: Optional[BaseException] = None
+    for attempt in range(max(1, policy.attempts)):
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                f"retry budget exhausted after {attempt} attempt(s)"
+            ) from last_error
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"{breaker.name}: circuit open, call refused"
+            ) from last_error
+        try:
+            result = fn()
+        except policy.retry_on as exc:
+            if policy.give_up_on and isinstance(exc, policy.give_up_on):
+                raise
+            last_error = exc
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt + 1 >= policy.attempts:
+                raise
+            pause = policy.backoff(attempt, rng)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    raise DeadlineExceeded(
+                        f"deadline expired after {attempt + 1} attempt(s)"
+                    ) from exc
+                pause = min(pause, remaining)
+            if pause > 0.0:
+                sleep(pause)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result
+    raise last_error  # pragma: no cover - loop always raises or returns

@@ -33,6 +33,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.deep_mapping import LookupResult, normalize_keys
+from ..resilience.deadline import Deadline
+from ..resilience.partial import PartialResult
 from .policy import AdmissionPolicy
 
 __all__ = ["Batcher", "PendingRequest", "QueueFullError",
@@ -76,10 +78,12 @@ def normalize_request_keys(keys, key_names) -> Dict[str, np.ndarray]:
 class PendingRequest:
     """One admitted request waiting in the forming batch."""
 
-    __slots__ = ("key_cols", "n_keys", "tenant", "future", "admitted_at")
+    __slots__ = ("key_cols", "n_keys", "tenant", "future", "admitted_at",
+                 "deadline")
 
     def __init__(self, key_cols: Dict[str, np.ndarray], tenant: str,
-                 future, admitted_at: float):
+                 future, admitted_at: float,
+                 deadline: Optional[Deadline] = None):
         self.key_cols = key_cols
         self.n_keys = int(next(iter(key_cols.values())).size)
         self.tenant = tenant
@@ -88,6 +92,11 @@ class PendingRequest:
         #: workers).  The batcher only carries it.
         self.future = future
         self.admitted_at = admitted_at
+        #: Optional per-request :class:`~repro.resilience.Deadline` (on
+        #: the batcher's clock).  A waiter's deadline can pull the flush
+        #: point *earlier* than the policy delay — never later — and
+        #: bounds its own store wait downstream.
+        self.deadline = deadline
 
 
 class Batcher:
@@ -119,8 +128,12 @@ class Batcher:
 
         The first request of a batch starts the delay clock; later
         requests never extend it (the *oldest* waiter bounds the delay).
-        Raises :class:`QueueFullError` when the policy's queue bound is
-        hit — the caller fails that request alone.
+        A request carrying its own :class:`Deadline` can pull the flush
+        point earlier — a waiter with 5 ms of budget must not sit out a
+        20 ms admission window — so after an ``add`` the server re-arms
+        its timer whenever :meth:`deadline` moved up.  Raises
+        :class:`QueueFullError` when the policy's queue bound is hit —
+        the caller fails that request alone.
         """
         limit = self.policy.max_queue_requests
         if limit is not None and len(self._pending) >= limit:
@@ -129,6 +142,8 @@ class Batcher:
                 f"(max_queue_requests={limit})")
         if not self._pending:
             self._deadline = self.clock() + self.policy.max_delay_seconds
+        if request.deadline is not None:
+            self._deadline = min(self._deadline, request.deadline.expires_at)
         self._pending.append(request)
         self._pending_keys += request.n_keys
         return self._pending_keys >= self.policy.max_batch_keys
@@ -136,8 +151,9 @@ class Batcher:
     def deadline(self) -> Optional[float]:
         """When the delay trigger fires, or None while idle.
 
-        One timer per forming batch is all a server needs: the deadline
-        is set at first admission and never moves until :meth:`take`.
+        Set at first admission; only a later waiter's *earlier* request
+        deadline can move it (always forward in urgency, never later),
+        until :meth:`take` resets it.
         """
         return self._deadline if self._pending else None
 
@@ -196,9 +212,20 @@ def merge_requests(
 
 def scatter_result(result: LookupResult, inverse: np.ndarray,
                    lo: int, hi: int) -> LookupResult:
-    """One request's bit-identical slice of the deduped batch result."""
+    """One request's bit-identical slice of the deduped batch result.
+
+    A :class:`~repro.resilience.PartialResult` (sharded store in
+    ``on_shard_error="partial"`` mode) scatters as a partial result too:
+    each request sees exactly its own slice of the ``failed_mask`` (a
+    request none of whose keys landed on a failing shard gets an
+    all-false mask — ``complete`` is true for it).
+    """
     idx = inverse[lo:hi]
-    return LookupResult(
-        found=result.found[idx],
-        values={name: arr[idx] for name, arr in result.values.items()},
-    )
+    values = {name: arr[idx] for name, arr in result.values.items()}
+    failed = getattr(result, "failed_mask", None)
+    if failed is not None:
+        return PartialResult(
+            found=result.found[idx], values=values,
+            failed_mask=failed[idx],
+            shard_errors=dict(result.shard_errors))
+    return LookupResult(found=result.found[idx], values=values)

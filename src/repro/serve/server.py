@@ -31,10 +31,13 @@ the coalescing tier without writing any asyncio.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import threading
 from typing import Dict, Optional, Union
 
 from ..core.deep_mapping import LookupResult
+from ..resilience.deadline import Deadline, default_timeout
+from ..resilience.errors import DeadlineExceeded
 from .batcher import (Batcher, PendingRequest, merge_requests,
                       normalize_request_keys, scatter_result)
 from .policy import AdmissionPolicy
@@ -65,15 +68,33 @@ class LookupServer:
         self._timer: Optional[asyncio.TimerHandle] = None
         self._inflight: set = set()
         self._closed = False
+        # Capability sniff, once: a store whose lookup_async accepts a
+        # ``deadline`` keyword (the sharded store) has the budget pushed
+        # down so shard jobs self-terminate; other stores are bounded
+        # from outside by wait_for alone.
+        try:
+            self._store_takes_deadline = "deadline" in \
+                inspect.signature(store.lookup_async).parameters
+        except (TypeError, ValueError):
+            self._store_takes_deadline = False
 
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    async def lookup(self, keys, tenant: str = DEFAULT_TENANT) -> LookupResult:
+    async def lookup(self, keys, tenant: str = DEFAULT_TENANT,
+                     deadline_ms: Optional[float] = None) -> LookupResult:
         """Admit one request; resolves when its batch has been served.
 
         Results are bit-identical to ``store.lookup(keys)`` — same
         ``found`` mask, same value arrays, input order preserved.
+
+        ``deadline_ms`` caps this request's total time in the tier —
+        queueing included.  An urgent waiter pulls its batch's flush
+        earlier than the policy delay when needed, the fused store call
+        never waits past the batch's earliest deadline, and a request
+        whose budget runs out fails alone with
+        :class:`~repro.resilience.DeadlineExceeded` — its batchmates
+        are unaffected.
         """
         loop = asyncio.get_running_loop()
         self._bind(loop)
@@ -81,11 +102,13 @@ class LookupServer:
             raise RuntimeError("lookup server is closed")
         try:
             key_cols = normalize_request_keys(keys, self._key_names)
+            deadline = self._admission_deadline(deadline_ms, loop)
         except (TypeError, ValueError, KeyError):
             self.stats.record_reject(tenant)
             raise
         future: asyncio.Future = loop.create_future()
-        request = PendingRequest(key_cols, tenant, future, loop.time())
+        request = PendingRequest(key_cols, tenant, future, loop.time(),
+                                 deadline=deadline)
         try:
             flush_now = self._batcher.add(request)
         except RuntimeError:  # QueueFullError — back-pressure
@@ -94,10 +117,36 @@ class LookupServer:
         self.stats.record_admit(tenant, request.n_keys)
         if flush_now:
             self._flush()
-        elif self._timer is None:
-            self._timer = loop.call_at(self._batcher.deadline(),
-                                       self._on_timer)
+        else:
+            self._arm_timer(loop)
         return await future
+
+    @staticmethod
+    def _admission_deadline(deadline_ms, loop) -> Optional[Deadline]:
+        if deadline_ms is None:
+            return None
+        budget = float(deadline_ms)
+        if budget <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms!r}")
+        # The loop clock, so batcher timers and expiry agree on "now".
+        return Deadline(budget / 1000.0, clock=loop.time)
+
+    def _arm_timer(self, loop) -> None:
+        """Arm (or pull forward) the one delay-trigger timer.
+
+        The batcher's flush point only ever moves *earlier* (an urgent
+        waiter joining), so a timer already set to fire at or before the
+        current deadline stays; otherwise it is replaced.
+        """
+        due = self._batcher.deadline()
+        if due is None:
+            return
+        if self._timer is not None:
+            if self._timer.when() <= due:
+                return
+            self._timer.cancel()
+        self._timer = loop.call_at(due, self._on_timer)
 
     def _bind(self, loop: asyncio.AbstractEventLoop) -> None:
         if self._loop is None:
@@ -130,20 +179,66 @@ class LookupServer:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
+    def _expire(self, request, where: str) -> None:
+        """Fail one request whose budget ran out (alone, typed)."""
+        if not request.future.done():
+            request.future.set_exception(DeadlineExceeded(
+                f"request deadline exceeded {where}"))
+        self.stats.record_expired(request.tenant)
+
+    def _prune_expired(self, batch, where: str) -> list:
+        """Drop already-expired waiters from ``batch``; fail them alone."""
+        live = []
+        for request in batch:
+            if request.deadline is not None and request.deadline.expired:
+                self._expire(request, where)
+            else:
+                live.append(request)
+        return live
+
+    def _store_call(self, key_cols, deadline: Optional[Deadline]):
+        """The fused (or per-request) store future, budget pushed down
+        when the store can take it."""
+        if deadline is not None and self._store_takes_deadline:
+            return self.store.lookup_async(key_cols, deadline=deadline)
+        return self.store.lookup_async(key_cols)
+
     async def _execute(self, batch) -> None:
+        # A waiter can expire while its batch forms (urgent deadline,
+        # size trigger never fired, store busy): fail it alone before
+        # spending a store call on its keys.
+        batch = self._prune_expired(batch, "while queued")
+        if not batch:
+            return
         unique_cols, inverse, slices = merge_requests(self._key_names, batch)
         n_unique = int(next(iter(unique_cols.values())).size)
         n_keys = slices[-1][1] if slices else 0
         self.stats.record_batch(len(batch), n_keys, n_unique)
+        deadline = Deadline.earliest(
+            r.deadline for r in batch if r.deadline is not None)
         try:
             # Coordinator lane: the store's executor runs the fused
             # batch off-loop; shard fan-out uses its separate worker
-            # lane, so this await cannot deadlock the pool.
-            result = await asyncio.wrap_future(
-                self.store.lookup_async(unique_cols))
+            # lane, so this await cannot deadlock the pool.  The wait is
+            # bounded by the batch's most urgent waiter; the store-level
+            # deadline (when supported) makes the workers stop too.
+            future = asyncio.wrap_future(self._store_call(
+                unique_cols, deadline))
+            if deadline is not None:
+                result = await asyncio.wait_for(future, deadline.timeout_or())
+            else:
+                result = await future
         except asyncio.CancelledError:
             self._fail_batch(batch, asyncio.CancelledError())
             raise
+        except (DeadlineExceeded, asyncio.TimeoutError):
+            # The most urgent waiter's budget ran out mid-call.  Only
+            # *its* keys are forfeit: expired waiters fail alone and the
+            # rest — whose budgets still have room — re-run individually
+            # so one tight deadline never fails its batchmates.
+            self.stats.record_fallback()
+            await self._execute_individually(batch, "in the store call")
+            return
         except Exception:
             # Poison containment: one request's keys (or a store hiccup)
             # must not fail the whole batch — re-run each request alone.
@@ -158,17 +253,29 @@ class LookupServer:
                 scatter_result(result, inverse, lo, hi))
             self.stats.record_done(request.tenant, now - request.admitted_at)
 
-    async def _execute_individually(self, batch) -> None:
+    async def _execute_individually(self, batch,
+                                    where: str = "in the store call") -> None:
         """Fallback: serve each request of a failed batch in isolation."""
         for request in batch:
             if request.future.done():
                 continue
+            if request.deadline is not None and request.deadline.expired:
+                self._expire(request, where)
+                continue
             try:
-                result = await asyncio.wrap_future(
-                    self.store.lookup_async(request.key_cols))
+                future = asyncio.wrap_future(self._store_call(
+                    request.key_cols, request.deadline))
+                if request.deadline is not None:
+                    result = await asyncio.wait_for(
+                        future, request.deadline.timeout_or())
+                else:
+                    result = await future
             except asyncio.CancelledError:
                 self._fail_batch(batch, asyncio.CancelledError())
                 raise
+            except (DeadlineExceeded, asyncio.TimeoutError):
+                self._expire(request, where)
+                continue
             except Exception as exc:
                 request.future.set_exception(exc)
                 self.stats.record_error(request.tenant)
@@ -250,11 +357,19 @@ class Client:
     def stats(self) -> ServeStats:
         return self.server.stats
 
-    def lookup(self, keys, tenant: str = DEFAULT_TENANT) -> LookupResult:
-        """Coalesced lookup; blocks until the batch is served."""
-        return self.submit(keys, tenant).result()
+    def lookup(self, keys, tenant: str = DEFAULT_TENANT,
+               deadline_ms: Optional[float] = None) -> LookupResult:
+        """Coalesced lookup; blocks until the batch is served.
 
-    def submit(self, keys, tenant: str = DEFAULT_TENANT):
+        ``deadline_ms`` bounds the request end to end (queueing and the
+        store call); an exhausted budget raises
+        :class:`~repro.resilience.DeadlineExceeded` — a ``TimeoutError``
+        — without failing unrelated batchmates.
+        """
+        return self.submit(keys, tenant, deadline_ms=deadline_ms).result()
+
+    def submit(self, keys, tenant: str = DEFAULT_TENANT,
+               deadline_ms: Optional[float] = None):
         """Admit without blocking; returns a ``concurrent.futures.Future``.
 
         The handle for driving many in-flight requests from one thread
@@ -263,7 +378,8 @@ class Client:
         if self._closed:
             raise RuntimeError("serving client is closed")
         return asyncio.run_coroutine_threadsafe(
-            self.server.lookup(keys, tenant), self._loop)
+            self.server.lookup(keys, tenant, deadline_ms=deadline_ms),
+            self._loop)
 
     def lookup_one(self, **key_parts) -> Optional[Dict[str, object]]:
         """Single-row convenience mirroring ``DataStore.lookup_one``."""
@@ -274,15 +390,20 @@ class Client:
                 for name, value in key_parts.items()}
         return next(self.lookup(keys).rows())
 
-    def close(self) -> None:
-        """Shut the server down and stop the loop thread (idempotent)."""
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut the server down and stop the loop thread (idempotent).
+
+        ``timeout`` bounds the shutdown drain and the loop-thread join
+        (default :data:`~repro.resilience.DEFAULT_TIMEOUT_S`).
+        """
         if self._closed:
             return
         self._closed = True
+        bound = default_timeout(timeout)
         asyncio.run_coroutine_threadsafe(
-            self.server.aclose(), self._loop).result(timeout=30)
+            self.server.aclose(), self._loop).result(timeout=bound)
         self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=bound)
         self._loop.close()
         if self._close_store:
             self.store.close()

@@ -116,6 +116,9 @@ class ServeStats:
         self.batch_fallbacks = 0
         #: Requests refused at admission (bad keys, queue full, closed).
         self.rejected = 0
+        #: Requests that ran out of deadline budget in the tier (queued
+        #: past expiry, or the store call outlived their deadline).
+        self.deadline_expired = 0
         #: Requests currently queued in the forming batch.
         self.queue_depth = 0
         #: High-water mark of ``queue_depth``.
@@ -167,6 +170,12 @@ class ServeStats:
             self.rejected += 1
             record.errors += 1
 
+    def record_expired(self, tenant: str) -> None:
+        record = self.tenant(tenant)
+        with self._lock:
+            self.deadline_expired += 1
+            record.errors += 1
+
     def record_wakeup(self) -> None:
         with self._lock:
             self.timer_wakeups += 1
@@ -208,6 +217,7 @@ class ServeStats:
                 "timer_wakeups": self.timer_wakeups,
                 "batch_fallbacks": self.batch_fallbacks,
                 "rejected": self.rejected,
+                "deadline_expired": self.deadline_expired,
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
                 "tenants": {name: record.snapshot()

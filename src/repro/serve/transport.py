@@ -7,7 +7,10 @@ Request fields:
 - ``id`` — opaque; echoed on the response so pipelined requests match up;
 - ``op`` — ``"lookup"`` (default), ``"stats"``, or ``"ping"``;
 - ``keys`` — ``{column: [int, ...]}`` for lookups;
-- ``tenant`` — optional stats bucket (defaults to the server default).
+- ``tenant`` — optional stats bucket (defaults to the server default);
+- ``deadline_ms`` — optional end-to-end budget for this lookup; an
+  exhausted budget answers ``error: "DeadlineExceeded: ..."`` for that
+  request alone (the connection, and its batchmates, live on).
 
 Responses carry the echoed ``id`` plus either ``found``/``values``
 (lookup), ``stats`` (a :meth:`~repro.serve.stats.ServeStats.snapshot`),
@@ -30,6 +33,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..resilience.deadline import default_timeout
+from ..resilience.retry import RetryPolicy, retry
 from .server import DEFAULT_TENANT, LookupServer
 
 __all__ = ["serve_tcp", "TCPClient", "BackgroundTCPServer", "encode_result"]
@@ -66,8 +71,9 @@ async def _handle_line(server: LookupServer, line: bytes) -> Dict:
             return {"id": request_id,
                     "error": "lookup needs keys: {column: [ints]}"}
         keys = {name: np.asarray(values) for name, values in raw.items()}
-        result = await server.lookup(keys, message.get("tenant",
-                                                       DEFAULT_TENANT))
+        result = await server.lookup(keys,
+                                     message.get("tenant", DEFAULT_TENANT),
+                                     deadline_ms=message.get("deadline_ms"))
         response = {"id": request_id}
         response.update(encode_result(result))
         return response
@@ -138,18 +144,23 @@ class BackgroundTCPServer:
     """
 
     def __init__(self, store, policy=None, stats=None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 control_timeout: Optional[float] = None):
         import threading
 
         self.server = LookupServer(store, policy=policy, stats=stats)
         self.host = host
+        #: Bound on control-plane waits (startup, shutdown drain, loop
+        #: join); defaults to the fleet-wide
+        #: :data:`~repro.resilience.DEFAULT_TIMEOUT_S`.
+        self.control_timeout = default_timeout(control_timeout)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run,
                                         name="repro-serve-tcp", daemon=True)
         self._thread.start()
         future = asyncio.run_coroutine_threadsafe(
             serve_tcp(self.server, host, port), self._loop)
-        self._tcp = future.result(timeout=30)
+        self._tcp = future.result(timeout=self.control_timeout)
         self.port: int = self._tcp.sockets[0].getsockname()[1]
         self._closed = False
 
@@ -161,7 +172,7 @@ class BackgroundTCPServer:
     def stats(self):
         return self.server.stats
 
-    def connect(self, timeout: Optional[float] = 30.0) -> "TCPClient":
+    def connect(self, timeout: Optional[float] = None) -> "TCPClient":
         """A fresh blocking client bound to this server."""
         return TCPClient(self.host, self.port, timeout=timeout)
 
@@ -175,10 +186,10 @@ class BackgroundTCPServer:
             await self._tcp.wait_closed()
             await self.server.aclose()
 
-        asyncio.run_coroutine_threadsafe(_shutdown(),
-                                         self._loop).result(timeout=30)
+        asyncio.run_coroutine_threadsafe(
+            _shutdown(), self._loop).result(timeout=self.control_timeout)
         self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=self.control_timeout)
         self._loop.close()
 
     def __enter__(self) -> "BackgroundTCPServer":
@@ -195,10 +206,34 @@ class TCPClient:
     thread for concurrency (responses are matched by ``id``, so even a
     shared connection would stay coherent — this class just keeps the
     sync API simple).
+
+    ``timeout`` (default :data:`~repro.resilience.DEFAULT_TIMEOUT_S`)
+    bounds the connect and every socket read/write.  The connect itself
+    retries transient refusals/resets up to ``connect_attempts`` times
+    with jittered exponential backoff — a server still binding its port
+    costs a few milliseconds, not a failure — then raises the last
+    ``OSError``.
     """
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    #: Transient-connect retry schedule (attempts beyond the first cost
+    #: ~10-100 ms each; DNS/EACCES-style failures are OSErrors too and
+    #: retry the same bounded number of times before surfacing).
+    CONNECT_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.2,
+                                retry_on=(ConnectionError, OSError))
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = None,
+                 connect_attempts: Optional[int] = None):
+        bound = default_timeout(timeout)
+        policy = self.CONNECT_RETRY
+        if connect_attempts is not None:
+            policy = RetryPolicy(attempts=max(1, int(connect_attempts)),
+                                 base_delay=policy.base_delay,
+                                 max_delay=policy.max_delay,
+                                 retry_on=policy.retry_on)
+        self._sock = retry(
+            lambda: socket.create_connection((host, port), timeout=bound),
+            policy)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
 
@@ -216,16 +251,22 @@ class TCPClient:
                                f"match request id {self._next_id}")
         return response
 
-    def lookup(self, keys: Dict, tenant: Optional[str] = None) -> Dict:
+    def lookup(self, keys: Dict, tenant: Optional[str] = None,
+               deadline_ms: Optional[float] = None) -> Dict:
         """Lookup; returns ``{"found": [...], "values": {col: [...]}}``.
 
-        Raises ``RuntimeError`` when the server answered with an error.
+        ``deadline_ms`` rides the wire as the request's end-to-end
+        budget on the server side.  Raises ``RuntimeError`` when the
+        server answered with an error (including a blown deadline,
+        reported as ``DeadlineExceeded: ...``).
         """
         message: Dict = {"op": "lookup",
                          "keys": {name: np.asarray(values).tolist()
                                   for name, values in keys.items()}}
         if tenant is not None:
             message["tenant"] = tenant
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
         response = self._call(message)
         if "error" in response:
             raise RuntimeError(response["error"])

@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..resilience.errors import StoreCorruptedError, StoreNotFoundError
 from ..storage.backends import LocalDirBackend, StorageBackend
 
 __all__ = ["MANIFEST_NAME", "CONFIG_NAME", "ShardEntry", "ShardManifest",
@@ -129,20 +130,33 @@ class ShardManifest:
 
     @classmethod
     def load_from(cls, backend: StorageBackend) -> "ShardManifest":
-        """Read ``manifest.json`` from ``backend``."""
+        """Read ``manifest.json`` from ``backend``.
+
+        An absent manifest raises :class:`StoreNotFoundError` (a
+        ``FileNotFoundError``); unparseable or wrong-format JSON raises
+        :class:`StoreCorruptedError` — both name the blob and the URL.
+        """
+        url = getattr(backend, "url", backend)
         try:
             payload = backend.read_bytes(MANIFEST_NAME)
         except KeyError:
-            raise FileNotFoundError(
-                f"no {MANIFEST_NAME} in {getattr(backend, 'url', backend)!r}"
-            ) from None
-        return cls.from_json(json.loads(payload.decode("utf-8")))
+            raise StoreNotFoundError(
+                f"no {MANIFEST_NAME} in {url!r}") from None
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+            if not isinstance(obj, dict):
+                raise ValueError(f"manifest root is {type(obj).__name__}, "
+                                 "expected an object")
+            return cls.from_json(obj)
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptedError(
+                f"{MANIFEST_NAME} in {url!r} is corrupt: {exc}") from exc
 
     @classmethod
     def load(cls, directory: str) -> "ShardManifest":
         """Read ``manifest.json`` from local ``directory``."""
         if not os.path.isdir(directory):
-            raise FileNotFoundError(f"no such store directory: {directory!r}")
+            raise StoreNotFoundError(f"no such store directory: {directory!r}")
         return cls.load_from(LocalDirBackend(directory, create=False))
 
 

@@ -54,9 +54,11 @@ an in-memory container, or a zip archive, selected by URL scheme.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
@@ -69,6 +71,9 @@ from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
                                  normalize_rows)
 from ..data.table import ColumnTable
 from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
+from ..resilience.deadline import Deadline
+from ..resilience.errors import DeadlineExceeded
+from ..resilience.partial import PartialResult
 from ..storage.backends import StorageBackend, backend_for_url
 from ..storage.blob_cache import payload_cache
 from ..storage.buffer_pool import BufferPool
@@ -107,12 +112,24 @@ class ShardingConfig:
     #: the store unmanaged — shards retrain inline on their own
     #: thresholds, exactly the pre-lifecycle behavior.
     lifecycle: Optional[LifecycleConfig] = None
+    #: Fault-isolation mode of the lookup fan-out.  ``"raise"`` (the
+    #: default, the historical behavior): any shard failure fails the
+    #: whole batch.  ``"partial"``: a failing or timed-out shard does not
+    #: poison the batch — its keys come back marked in a
+    #: :class:`~repro.resilience.partial.PartialResult` while healthy
+    #: shards' results stay bit-identical.  Overridable per call via
+    #: ``lookup(..., on_shard_error=...)``.
+    on_shard_error: str = "raise"
 
     def __post_init__(self):
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if self.strategy not in ("range", "hash"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.on_shard_error not in ("raise", "partial"):
+            raise ValueError(
+                f"on_shard_error must be 'raise' or 'partial', "
+                f"got {self.on_shard_error!r}")
         if (self.lifecycle is not None and self.lifecycle.rebalance
                 and self.strategy != "range"):
             raise ValueError(
@@ -345,7 +362,9 @@ class ShardedDeepMapping:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def lookup(self, keys: KeysLike) -> LookupResult:
+    def lookup(self, keys: KeysLike, *,
+               deadline: Optional[Deadline] = None,
+               on_shard_error: Optional[str] = None) -> LookupResult:
         """Batched exact-match lookup across shards, input order preserved.
 
         The pipelined read path: the route stage sorts the batch **by
@@ -361,7 +380,31 @@ class ShardedDeepMapping:
         bit-identical to :meth:`lookup_barrier`, the pre-pipeline
         reference path, which remains available for comparison and for
         executor strategies without a per-job fan-out lane.
+
+        Resilience knobs (see ``docs/resilience.md``):
+
+        ``deadline``
+            A :class:`~repro.resilience.Deadline` bounding the whole
+            call.  Queued shard jobs past the deadline are never started,
+            and the merge stops waiting on stragglers once the budget is
+            gone; what happens to their keys depends on the error mode.
+        ``on_shard_error``
+            ``"raise"`` (default, the historical behavior) fails the
+            whole batch on the first shard error.  ``"partial"``
+            isolates the fault: healthy shards' results are returned
+            bit-identical in a
+            :class:`~repro.resilience.PartialResult` whose
+            ``failed_mask`` marks the keys owned by failing or
+            timed-out shards (forced to ``found=False``).  ``None``
+            defers to ``ShardingConfig.on_shard_error``.  When every
+            shard succeeds, partial mode returns a plain
+            :class:`LookupResult` — zero overhead on the healthy path.
         """
+        mode = on_shard_error if on_shard_error is not None \
+            else self.sharding.on_shard_error
+        if mode not in ("raise", "partial"):
+            raise ValueError(
+                f"on_shard_error must be 'raise' or 'partial', got {mode!r}")
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
         # One topology snapshot for the whole batch: route, fan-out and
@@ -376,18 +419,28 @@ class ShardedDeepMapping:
                 found=np.zeros(0, dtype=bool),
                 values={c: self._placeholder(c, 0) for c in self.value_names},
             )
-        if router.n_shards == 1 and shards[0] is not None:
-            # Single shard: no routing or merging to do.
+        if deadline is not None:
+            deadline.check("sharded lookup")
+        if router.n_shards == 1 and shards[0] is not None \
+                and mode == "raise":
+            # Single shard, fail-fast mode: no routing, merging, or
+            # fault-isolation bookkeeping to do.  (Partial mode still
+            # takes the generic path so a failure comes back marked
+            # rather than raised.)
             return shards[0].lookup(key_cols)
         submit_job = getattr(self.executor, "submit_job", None)
         if submit_job is None:
             # Custom strategy without a fan-out job lane: barrier path.
+            # It has no per-shard fault boundary, so errors raise
+            # regardless of mode — documented in docs/resilience.md.
             return self.lookup_barrier(key_cols)
 
         with self.stats.timing("route"):
             order, bounds, grouped = self._sorted_route(router, key_cols, n)
 
-        jobs: List[Tuple[DeepMapping, Dict[str, np.ndarray], np.ndarray]] = []
+        # (ordinal, shard, segment, dest) per non-empty routed group.
+        jobs: List[Tuple[int, DeepMapping, Dict[str, np.ndarray],
+                         np.ndarray]] = []
         segment_dtypes: Dict[str, List[np.dtype]] = \
             {c: [] for c in self.value_names}
         for ordinal in range(router.n_shards):
@@ -407,7 +460,7 @@ class ShardedDeepMapping:
                 segment_dtypes[c].append(
                     shard.fdecode.encoders[c].vocab.dtype)
             segment = {name: arr[start:stop] for name, arr in grouped.items()}
-            jobs.append((shard, segment, order[start:stop]))
+            jobs.append((ordinal, shard, segment, order[start:stop]))
 
         found_out = np.zeros(n, dtype=bool)
         values_out = {}
@@ -418,18 +471,72 @@ class ShardedDeepMapping:
                              if dtype == object else np.zeros(n, dtype=dtype))
 
         def run_job(job) -> None:
-            shard, segment, dest = job
+            ordinal, shard, segment, dest = job
+            if deadline is not None:
+                deadline.check(f"shard {ordinal} lookup")
             plan = shard.plan_lookup(segment, presorted=True)
             plan.execute_into(found_out, values_out, dest)
 
+        shard_errors: Dict[int, BaseException] = {}
+        stragglers = False  # a timed-out job may still be running
         if len(jobs) <= 1:
             for job in jobs:
-                run_job(job)
+                try:
+                    run_job(job)
+                except Exception as exc:
+                    if mode == "raise":
+                        raise
+                    shard_errors[job[0]] = exc
         else:
-            futures = [submit_job(run_job, job) for job in jobs]
-            for future in futures:
-                future.result()
-        return LookupResult(found=found_out, values=values_out)
+            futures = [(job, submit_job(run_job, job, deadline=deadline))
+                       for job in jobs]
+            for job, future in futures:
+                ordinal = job[0]
+                try:
+                    if deadline is None:
+                        future.result()
+                    else:
+                        future.result(timeout=max(0.0, deadline.remaining()))
+                except DeadlineExceeded as exc:
+                    # Raised *inside* the job (the executor's dequeue
+                    # gate, or the per-job check) — the job is finished
+                    # and wrote nothing, so it is a clean failure, not a
+                    # straggler.  Must precede the FutureTimeoutError
+                    # arm: DeadlineExceeded is a TimeoutError subclass.
+                    shard_errors[ordinal] = exc
+                except FutureTimeoutError:
+                    # Budget exhausted while this shard still runs.  The
+                    # job either never starts (the executor's dequeue
+                    # gate fails it) or finishes late into arrays we are
+                    # about to stop sharing (see the copy below).
+                    future.cancel()
+                    stragglers = True
+                    shard_errors[ordinal] = DeadlineExceeded(
+                        f"shard {ordinal} lookup exceeded its deadline")
+                except Exception as exc:
+                    shard_errors[ordinal] = exc
+            if shard_errors and mode == "raise":
+                # Deterministic choice: lowest failing ordinal wins.
+                raise shard_errors[min(shard_errors)]
+
+        if not shard_errors:
+            return LookupResult(found=found_out, values=values_out)
+
+        failed = np.zeros(n, dtype=bool)
+        for job in jobs:
+            if job[0] in shard_errors:
+                failed[job[3]] = True
+        if stragglers:
+            # A timed-out shard job holds references to these arrays and
+            # may scatter into them after we return; hand the caller
+            # private copies so the result is immutable from here on.
+            found_out = found_out.copy()
+            values_out = {c: arr.copy() for c, arr in values_out.items()}
+        # A failing job may have scattered part of its segment before
+        # dying; force its keys back to misses so found/values agree.
+        found_out[failed] = False
+        return PartialResult(found=found_out, values=values_out,
+                             failed_mask=failed, shard_errors=shard_errors)
 
     def _sorted_route(
         self, router: ShardRouter, key_cols: Dict[str, np.ndarray], n: int,
@@ -601,7 +708,9 @@ class ShardedDeepMapping:
         live = [shard for shard in self.shards if shard is not None]
         self._map_jobs(rebuild_one, live)
 
-    def lookup_async(self, keys: KeysLike) -> Future:
+    def lookup_async(self, keys: KeysLike, *,
+                     deadline: Optional[Deadline] = None,
+                     on_shard_error: Optional[str] = None) -> Future:
         """Schedule :meth:`lookup` on the executor strategy.
 
         Returns a future resolving to the same :class:`LookupResult` the
@@ -609,8 +718,22 @@ class ShardedDeepMapping:
         fan-out workers, so awaiting it never deadlocks the shard pool.
         Under the serial strategy the work happens inline and the future
         comes back already resolved.
+
+        ``deadline`` bounds the lookup *and* gates the coordinating job
+        itself: if the budget is gone before a coordinator lane frees
+        up, the future fails with ``DeadlineExceeded`` without touching
+        a shard.  ``on_shard_error`` is forwarded to :meth:`lookup`.
         """
-        return self.executor.submit(self.lookup, keys)
+        fn = functools.partial(self.lookup, keys, deadline=deadline,
+                               on_shard_error=on_shard_error)
+        if deadline is None:
+            return self.executor.submit(fn)
+        try:
+            return self.executor.submit(fn, deadline=deadline)
+        except TypeError:
+            # Custom strategy whose submit() lacks the deadline
+            # capability: the lookup itself still honors the budget.
+            return self.executor.submit(fn)
 
     def set_executor(self, executor) -> None:
         """Swap the executor strategy (a name from
@@ -1015,6 +1138,7 @@ class ShardedDeepMapping:
                 "pool_budget_bytes": self.sharding.pool_budget_bytes,
                 "executor": getattr(self.sharding.executor, "name",
                                     self.sharding.executor),
+                "on_shard_error": self.sharding.on_shard_error,
             },
             lifecycle=lifecycle,
         )
@@ -1080,6 +1204,7 @@ class ShardedDeepMapping:
                       else saved.get("executor")),
             lifecycle=(LifecycleConfig.from_state(lifecycle_state)
                        if lifecycle_state else None),
+            on_shard_error=saved.get("on_shard_error", "raise"),
         )
         stats = stats if stats is not None else StoreStats()
         pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,

@@ -35,6 +35,8 @@ import threading
 import zipfile
 from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
+from ..resilience.errors import StoreCorruptedError, StoreNotFoundError
+
 __all__ = [
     "StorageBackend",
     "LocalDirBackend",
@@ -71,7 +73,8 @@ class StorageBackend(Protocol):
     """
 
     def read_bytes(self, name: str) -> bytes:
-        """Return blob ``name``; raise ``KeyError`` when absent."""
+        """Return blob ``name``; raise :class:`StoreNotFoundError` (a
+        ``KeyError`` subclass) when absent."""
         ...
 
     def write_bytes(self, name: str, payload: bytes) -> int:
@@ -129,7 +132,8 @@ class LocalDirBackend:
             with open(self._path(name), "rb") as handle:
                 return handle.read()
         except FileNotFoundError:
-            raise KeyError(f"no blob named {name!r} in {self.root}") from None
+            raise StoreNotFoundError(
+                f"no blob named {name!r} in {self.url}") from None
 
     def read_view(self, name: str) -> memoryview:
         """Read-only memoryview of blob ``name`` over mmap'd pages.
@@ -155,7 +159,8 @@ class LocalDirBackend:
                 mapped = mmap.mmap(handle.fileno(), 0,
                                    access=mmap.ACCESS_READ)
         except FileNotFoundError:
-            raise KeyError(f"no blob named {name!r} in {self.root}") from None
+            raise StoreNotFoundError(
+                f"no blob named {name!r} in {self.url}") from None
         return memoryview(mapped)
 
     def blob_version(self, name: str):
@@ -185,6 +190,7 @@ class LocalDirBackend:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, path)
+            self._fsync_dir()
         except BaseException:
             try:
                 os.remove(tmp_path)
@@ -192,6 +198,23 @@ class LocalDirBackend:
                 pass
             raise
         return len(payload)
+
+    def _fsync_dir(self) -> None:
+        """Best-effort fsync of the directory so the rename itself is
+        durable — without it a crash after ``os.replace`` can roll the
+        directory entry back to the old (or no) blob even though the new
+        file's bytes were fsynced.  Best-effort because some filesystems
+        (and all of Windows) refuse ``open(dir)``."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def list(self) -> List[str]:
         try:
@@ -266,8 +289,8 @@ class InMemoryBackend:
             try:
                 return self._blobs[_check_name(name)]
             except KeyError:
-                raise KeyError(f"no blob named {name!r} in {self.url}") \
-                    from None
+                raise StoreNotFoundError(
+                    f"no blob named {name!r} in {self.url}") from None
 
     def read_view(self, name: str) -> memoryview:
         """Read-only view of the stored bytes (already zero-copy)."""
@@ -356,9 +379,16 @@ class ZipBackend:
         if self._blobs is None or stamp != self._stamp:
             blobs: Dict[str, bytes] = {}
             if stamp is not None:
-                with zipfile.ZipFile(self.path, "r") as archive:
-                    for info in archive.infolist():
-                        blobs[info.filename] = archive.read(info)
+                try:
+                    with zipfile.ZipFile(self.path, "r") as archive:
+                        for info in archive.infolist():
+                            blobs[info.filename] = archive.read(info)
+                except (zipfile.BadZipFile, EOFError, OSError) as exc:
+                    if isinstance(exc, FileNotFoundError):
+                        raise
+                    raise StoreCorruptedError(
+                        f"archive {self.url} is not a readable zip: {exc}"
+                    ) from exc
             self._blobs = blobs
             self._stamp = stamp
         return self._blobs
@@ -414,8 +444,8 @@ class ZipBackend:
             try:
                 return self._loaded()[_check_name(name)]
             except KeyError:
-                raise KeyError(f"no blob named {name!r} in {self.path}") \
-                    from None
+                raise StoreNotFoundError(
+                    f"no blob named {name!r} in {self.url}") from None
 
     def read_view(self, name: str) -> memoryview:
         """Read-only view of the decompressed cached bytes."""

@@ -30,6 +30,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Optional, Tuple
 
+from ..resilience.errors import StoreCorruptedError
 from .backends import StorageBackend, backend_identity, blob_version
 
 __all__ = ["BlobCache", "payload_cache", "configure_payload_cache"]
@@ -61,6 +62,7 @@ class BlobCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruption_retries = 0
 
     # ------------------------------------------------------------------
     @property
@@ -90,6 +92,12 @@ class BlobCache:
         stamp is taken *before* the load, so a write racing the load can
         only make the entry stale-keyed (it will miss next time), never
         let stale content impersonate fresh.
+
+        A loader that raises :class:`StoreCorruptedError` is retried
+        once (``corruption_retries`` counts them): a checksum failure
+        can be a torn read racing an atomic replace, and the second
+        attempt observes the settled blob.  Persistent corruption
+        propagates the typed error to the caller.
         """
         key = (backend_identity(backend), name)
         version = blob_version(backend, name)
@@ -102,7 +110,12 @@ class BlobCache:
                     return entry[1]
                 self._drop(key)
             self.misses += 1
-        obj, size = loader()
+        try:
+            obj, size = loader()
+        except StoreCorruptedError:
+            self.corruption_retries += 1
+            version = blob_version(backend, name)  # re-stamp: may be mid-save
+            obj, size = loader()
         if version is None:
             return obj  # unversionable: serve fresh, never cache
         size = int(size)

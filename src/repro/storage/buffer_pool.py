@@ -15,6 +15,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+from ..resilience.errors import StoreCorruptedError
 from .stats import StoreStats
 
 __all__ = ["BufferPool", "MemoryBudgetError"]
@@ -142,7 +143,17 @@ class BufferPool:
             # its own error, preserving per-caller failure semantics.
 
         try:
-            obj, size = loader()  # deliberately outside the lock (I/O-heavy)
+            # Deliberately outside the lock (I/O-heavy).  Corruption is
+            # treated as a cache-miss-and-retry-once: a checksum failure
+            # may be a torn read racing an atomic replace, and the second
+            # attempt sees the settled blob.  If it fails again, the
+            # typed error propagates to this leader and every waiter
+            # retries per the usual fault semantics.
+            try:
+                obj, size = loader()
+            except StoreCorruptedError:
+                self.stats.bump("pool_corruption_retries")
+                obj, size = loader()
             size = int(size)
             if self.budget_bytes is not None and size > self.budget_bytes \
                     and self.strict:

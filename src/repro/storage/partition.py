@@ -18,11 +18,14 @@ table and the baselines share identical I/O behaviour.
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..resilience.errors import StoreCorruptedError
 from .buffer_pool import BufferPool
 from .codecs import Codec, get_codec
 from .disk import DiskStore
@@ -218,15 +221,29 @@ class SortedPartitionStore:
         return idx
 
     def load_partition(self, pid: int) -> Dict[str, np.ndarray]:
-        """Fetch partition ``pid`` through the buffer pool, decompressing on miss."""
+        """Fetch partition ``pid`` through the buffer pool, decompressing on miss.
+
+        Undecompressable / unpicklable partition bytes surface as a typed
+        :class:`~repro.resilience.errors.StoreCorruptedError` naming the
+        blob; the pool retries the load once (torn-read healing) before
+        letting it propagate.
+        """
         meta = self._metas[pid]
 
         def loader():
             payload = self.disk.read(meta.name)
-            with self.stats.timing("decompress"):
-                raw = self.codec.decompress(payload)
-            with self.stats.timing("deserialize"):
-                block = deserialize_block(raw)
+            try:
+                with self.stats.timing("decompress"):
+                    raw = self.codec.decompress(payload)
+                with self.stats.timing("deserialize"):
+                    block = deserialize_block(raw)
+            except StoreCorruptedError:
+                raise
+            except (zlib.error, pickle.UnpicklingError, EOFError,
+                    ValueError, OSError) as exc:
+                raise StoreCorruptedError(
+                    f"partition blob {meta.name!r} is corrupt "
+                    f"({type(exc).__name__}: {exc})") from exc
             columns = block["columns"]
             if self.dict_encode:
                 columns = dictionary_decode(columns)

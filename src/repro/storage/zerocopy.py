@@ -4,7 +4,8 @@ A classic pickle inlines every array's bytes into the stream, so loading
 always copies them onto the heap.  This module packs an object graph into
 a small framed container instead:
 
-``MAGIC | n_buffers | head_len | (offset, length) x n | head | buffers``
+``MAGIC | n_buffers | head_len | (offset, length) x n | head | buffers |
+footer``
 
 The *head* is the protocol-5 pickle of the object with every contiguous
 array exported through ``buffer_callback``; the buffers follow, each
@@ -20,6 +21,18 @@ With ``zero_copy=False`` (the default) each buffer is materialized as a
 private ``bytearray`` first, so the loaded arrays are ordinary writable
 copies — the copy fallback mutating stores need.
 
+**Integrity.** Version-2 containers (magic ``RZC2``) end in a checksum
+footer: one CRC-32 over the head and one per buffer segment.
+:func:`unpack` verifies them (``verify=True`` by default) and raises a
+typed :class:`~repro.resilience.errors.StoreCorruptedError` naming the
+mangled segment — a single flipped byte anywhere in the container is
+caught before a corrupt array can reach a lookup.  Verification is paid
+once per *load*, and the read path loads a blob once per content version
+(the :class:`~repro.storage.blob_cache.BlobCache` keys on the backend's
+version stamp), so in steady state it amortizes to first touch.
+Version-1 containers (``RZC1``, written before checksums existed) carry
+no footer and still load, unverified.
+
 The format is self-describing: :func:`is_packed` sniffs the magic, so
 readers can fall back to plain ``pickle.loads`` for payloads written
 before this container existed.
@@ -29,13 +42,21 @@ from __future__ import annotations
 
 import pickle
 import struct
+import zlib
 from typing import Any, List
 
-__all__ = ["pack", "unpack", "is_packed", "MAGIC"]
+from ..resilience.errors import StoreCorruptedError
 
-#: Container signature.  Deliberately not a valid pickle opcode sequence,
-#: so feeding a packed payload to a legacy ``pickle.loads`` fails loudly.
-MAGIC = b"RZC1\x00\xff"
+__all__ = ["pack", "unpack", "is_packed", "MAGIC", "MAGIC_V1"]
+
+#: Legacy (checksum-less) container signature.  Deliberately not a valid
+#: pickle opcode sequence, so feeding a packed payload to a legacy
+#: ``pickle.loads`` fails loudly.
+MAGIC_V1 = b"RZC1\x00\xff"
+
+#: Current container signature (same length as v1: the index layout is
+#: unchanged, v2 just appends the checksum footer).
+MAGIC = b"RZC2\x00\xff"
 
 #: Buffer segments start on this alignment so reconstructed views are
 #: friendly to vectorized loads whatever their dtype.
@@ -43,6 +64,7 @@ _ALIGN = 64
 
 _HEADER = struct.Struct("<QQ")  # n_buffers, head_len
 _SLOT = struct.Struct("<QQ")    # absolute offset, length
+_CRC = struct.Struct("<I")      # one per segment, head first
 
 
 def _aligned(offset: int) -> int:
@@ -50,7 +72,7 @@ def _aligned(offset: int) -> int:
 
 
 def pack(obj: Any) -> bytearray:
-    """Serialize ``obj`` into the zero-copy container format.
+    """Serialize ``obj`` into the zero-copy container format (v2).
 
     Returns the assembled buffer as a ``bytearray`` (every backend write
     path accepts any buffer; copying to ``bytes`` would transiently
@@ -75,10 +97,13 @@ def pack(obj: Any) -> bytearray:
         slots.append((offset, raw.nbytes))
         offset = _aligned(offset + raw.nbytes)
 
+    data_end = offset if raws else index_size + len(head)
+    footer_size = _CRC.size * (len(raws) + 1)
+
     # Assembled once in a bytearray and returned as-is: a bytes() copy
     # here would transiently double peak memory for large payloads, and
     # every consumer (backend write paths, unpack) takes any buffer.
-    out = bytearray(offset if raws else index_size + len(head))
+    out = bytearray(data_end + footer_size)
     pos = 0
     out[pos:pos + len(MAGIC)] = MAGIC
     pos += len(MAGIC)
@@ -88,18 +113,26 @@ def pack(obj: Any) -> bytearray:
         _SLOT.pack_into(out, pos, start, length)
         pos += _SLOT.size
     out[pos:pos + len(head)] = head
+    crc_pos = data_end
+    _CRC.pack_into(out, crc_pos, zlib.crc32(head))
+    crc_pos += _CRC.size
     for raw, (start, length) in zip(raws, slots):
         out[start:start + length] = raw
+        _CRC.pack_into(out, crc_pos, zlib.crc32(raw))
+        crc_pos += _CRC.size
     return out
 
 
 def is_packed(payload) -> bool:
-    """True when ``payload`` starts with the container magic."""
+    """True when ``payload`` starts with a container magic (v1 or v2)."""
     view = memoryview(payload)
-    return view.nbytes >= len(MAGIC) and bytes(view[:len(MAGIC)]) == MAGIC
+    if view.nbytes < len(MAGIC):
+        return False
+    lead = bytes(view[:len(MAGIC)])
+    return lead == MAGIC or lead == MAGIC_V1
 
 
-def unpack(payload, zero_copy: bool = False) -> Any:
+def unpack(payload, zero_copy: bool = False, verify: bool = True) -> Any:
     """Inverse of :func:`pack`.
 
     ``payload`` is any buffer (bytes, memoryview, mmap view).  With
@@ -109,6 +142,11 @@ def unpack(payload, zero_copy: bool = False) -> Any:
     buffer, so ordinary refcounting does this automatically).  With
     ``zero_copy=False`` every buffer is copied into a private, writable
     ``bytearray`` first.
+
+    ``verify=True`` checks the v2 checksum footer and raises
+    :class:`StoreCorruptedError` (an ``UnpicklingError`` subclass)
+    naming the first mangled segment.  v1 containers have no checksums
+    and are loaded as-is either way.
     """
     view = memoryview(payload).cast("B")
     if not view.readonly:
@@ -117,8 +155,9 @@ def unpack(payload, zero_copy: bool = False) -> Any:
         # is a flag flip, not a copy.
         view = view.toreadonly()
     if not is_packed(view):
-        raise pickle.UnpicklingError(
+        raise StoreCorruptedError(
             "payload is not a zero-copy container (bad magic)")
+    checksummed = bytes(view[:len(MAGIC)]) == MAGIC
     pos = len(MAGIC)
     try:
         n_buffers, head_len = _HEADER.unpack_from(view, pos)
@@ -130,6 +169,14 @@ def unpack(payload, zero_copy: bool = False) -> Any:
         head = view[pos:pos + head_len]
         if head.nbytes != head_len:
             raise ValueError("truncated container head")
+        data_end = _aligned(slots[-1][0] + slots[-1][1]) if slots \
+            else pos + head_len
+        crcs: List[int] = []
+        if checksummed:
+            crc_pos = data_end
+            for _ in range(n_buffers + 1):
+                crcs.append(_CRC.unpack_from(view, crc_pos)[0])
+                crc_pos += _CRC.size
         buffers = []
         for start, length in slots:
             segment = view[start:start + length]
@@ -137,6 +184,17 @@ def unpack(payload, zero_copy: bool = False) -> Any:
                 raise ValueError("truncated container buffer")
             buffers.append(segment if zero_copy else bytearray(segment))
     except (struct.error, ValueError) as exc:
-        raise pickle.UnpicklingError(
+        raise StoreCorruptedError(
             f"corrupt zero-copy container: {exc}") from None
+    if checksummed and verify:
+        if zlib.crc32(head) != crcs[0]:
+            raise StoreCorruptedError(
+                "zero-copy container head failed checksum "
+                f"(stored 0x{crcs[0]:08x}): bit flip or torn write")
+        for i, buffer in enumerate(buffers):
+            if zlib.crc32(buffer) != crcs[i + 1]:
+                raise StoreCorruptedError(
+                    f"zero-copy container segment {i} of {n_buffers} "
+                    f"failed checksum (stored 0x{crcs[i + 1]:08x}): "
+                    "bit flip or torn write")
     return pickle.loads(head, buffers=buffers)

@@ -31,6 +31,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Protocol, Union, \
     runtime_checkable
 
+from ..resilience.deadline import Deadline
+
 __all__ = [
     "ExecutorStrategy",
     "SerialStrategy",
@@ -40,6 +42,25 @@ __all__ = [
     "make_executor",
     "gil_enabled",
 ]
+
+
+def _deadline_gated(fn: Callable, deadline: Optional[Deadline]) -> Callable:
+    """Wrap ``fn`` so it refuses to *start* past its deadline.
+
+    The gate runs on the worker at dequeue time: when a caller has
+    already abandoned a timed-out batch, its queued jobs collapse to an
+    immediate :class:`DeadlineExceeded` instead of occupying a lane with
+    work nobody will read — the difference between a slow burst and a
+    wedged coordinator under sustained overload.
+    """
+    if deadline is None:
+        return fn
+
+    def gated(*args, **kwargs):
+        deadline.check("queued job")
+        return fn(*args, **kwargs)
+
+    return gated
 
 
 def gil_enabled() -> bool:
@@ -68,13 +89,16 @@ class ExecutorStrategy(Protocol):
         ...
 
     # NOTE: the built-in strategies additionally provide
-    # ``submit_job(fn, *args) -> Future`` — a per-job handle on the
-    # *fan-out* lane (``submit`` targets the coordinator lane), used by
-    # the sharded store's pipelined lookup to stream per-shard results
-    # as they finish.  It is a capability rather than part of this
-    # protocol so pre-existing custom strategies keep satisfying
-    # ``isinstance(..., ExecutorStrategy)``; stores fall back to the
-    # barrier path when it is absent.
+    # ``submit_job(fn, *args, deadline=None) -> Future`` — a per-job
+    # handle on the *fan-out* lane (``submit`` targets the coordinator
+    # lane), used by the sharded store's pipelined lookup to stream
+    # per-shard results as they finish.  It is a capability rather than
+    # part of this protocol so pre-existing custom strategies keep
+    # satisfying ``isinstance(..., ExecutorStrategy)``; stores fall back
+    # to the barrier path when it is absent.  Both lanes accept an
+    # optional ``deadline`` keyword: a job still queued when its
+    # deadline passes fails with ``DeadlineExceeded`` the moment a
+    # worker picks it up, so abandoned work cannot wedge a lane.
 
 
 class SerialStrategy:
@@ -85,7 +109,9 @@ class SerialStrategy:
     def map(self, fn: Callable, jobs: Iterable) -> List:
         return [fn(job) for job in jobs]
 
-    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+    def submit(self, fn: Callable, *args,
+               deadline: Optional[Deadline] = None, **kwargs) -> Future:
+        fn = _deadline_gated(fn, deadline)
         future: Future = Future()
         try:
             future.set_result(fn(*args, **kwargs))
@@ -93,9 +119,10 @@ class SerialStrategy:
             future.set_exception(exc)
         return future
 
-    def submit_job(self, fn: Callable, *args) -> Future:
+    def submit_job(self, fn: Callable, *args,
+                   deadline: Optional[Deadline] = None) -> Future:
         """Fan-out-lane job future (inline here; already resolved)."""
-        return self.submit(fn, *args)
+        return self.submit(fn, *args, deadline=deadline)
 
     def close(self) -> None:
         pass
@@ -153,10 +180,13 @@ class ThreadPoolStrategy:
             return [fn(job) for job in jobs]
         return list(self._get_pool().map(fn, jobs))
 
-    def submit(self, fn: Callable, *args, **kwargs) -> Future:
-        return self._get_coordinator().submit(fn, *args, **kwargs)
+    def submit(self, fn: Callable, *args,
+               deadline: Optional[Deadline] = None, **kwargs) -> Future:
+        return self._get_coordinator().submit(
+            _deadline_gated(fn, deadline), *args, **kwargs)
 
-    def submit_job(self, fn: Callable, *args) -> Future:
+    def submit_job(self, fn: Callable, *args,
+                   deadline: Optional[Deadline] = None) -> Future:
         """One fan-out job as a future (the pipelined-lookup lane).
 
         Jobs land on the same pool ``map`` uses, so inference for one
@@ -164,9 +194,15 @@ class ThreadPoolStrategy:
         worker the job runs inline (same short-circuit as ``map``),
         avoiding thread ping-pong on one-core hosts.  Job functions must
         never block on sibling futures — the sharded store's jobs
-        scatter into shared output arrays and return.
+        scatter into shared output arrays and return.  A ``deadline``
+        makes the job a no-op (``DeadlineExceeded``) if it is still
+        queued when the budget runs out — and disables the one-worker
+        inline shortcut, because a deadline only isolates the caller
+        from a hung job when the job runs on a thread the caller can
+        abandon.
         """
-        if self.max_workers <= 1:
+        fn = _deadline_gated(fn, deadline)
+        if self.max_workers <= 1 and deadline is None:
             future: Future = Future()
             try:
                 future.set_result(fn(*args))

@@ -27,6 +27,7 @@ import pickle
 import zipfile
 from typing import Optional, Union
 
+from ..resilience.errors import StoreCorruptedError, StoreNotFoundError
 from ..storage.backends import (MONOLITHIC_BLOB, URL_SCHEMES, LocalDirBackend,
                                 ZipBackend, backend_for_url, parse_url)
 from .executors import ExecutorStrategy
@@ -136,6 +137,11 @@ def open_store(
                                                  stats=stats)
             else:
                 store = DeepMapping._open_shared(backend, blob, stats=stats)
+        except StoreCorruptedError:
+            # A recognized container that fails its checksums (or is
+            # truncated) is *damage*, not a wrong-format target — let the
+            # typed error through so operators can tell the two apart.
+            raise
         except (pickle.UnpicklingError, EOFError):
             raise ValueError(
                 f"{url_or_path!r} exists but does not hold a DeepMapping "
@@ -145,7 +151,7 @@ def open_store(
             # builds from names and leaves caller instances caller-owned.
             store.set_executor(executor)
         return store
-    raise FileNotFoundError(
+    raise StoreNotFoundError(
         f"no store at {url_or_path!r}; {_schemes_note()}")
 
 

@@ -1,0 +1,151 @@
+"""A storage backend that injects faults into the read path.
+
+Wraps any :class:`~repro.storage.backends.StorageBackend` and sabotages
+reads on a seeded schedule: transient ``OSError``\\ s (what the retry
+policy and circuit breaker exist for), single-byte corruption (what the
+container checksums exist for), and added latency (what deadlines exist
+for).  Writes pass through untouched — chaos tests corrupt what readers
+see, not what is durably stored, so a retry after a detected corruption
+can legitimately succeed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["FaultInjectingBackend"]
+
+
+class FaultInjectingBackend:
+    """Deterministic saboteur around a real storage backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend actually holding the blobs.
+    error_rate / corrupt_rate:
+        Per-read probabilities (drawn from ``seed``) of raising a
+        transient ``OSError`` or of flipping one byte of the returned
+        payload.  Corruption is *read-side*: the stored blob stays
+        intact, so a caller that detects the damage and re-reads gets
+        clean bytes — exactly the cache-miss-and-retry-once contract.
+    latency_s:
+        Fixed delay added to every matching read (deadline fodder).
+    seed:
+        Seeds the fault schedule; same seed, same faults.
+    match:
+        Optional blob-name predicate; non-matching blobs are never
+        sabotaged (e.g. target one shard's payload only).
+
+    ``fail_next(n)`` scripts ``n`` guaranteed failures ahead of the
+    probabilistic schedule — for tests that need "the first read fails,
+    the retry succeeds" without tuning rates.  Counters
+    ``injected_errors`` / ``injected_corruptions`` record what actually
+    happened.
+    """
+
+    def __init__(self, inner, *, error_rate: float = 0.0,
+                 corrupt_rate: float = 0.0, latency_s: float = 0.0,
+                 seed: int = 0,
+                 match: Optional[Callable[[str], bool]] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.inner = inner
+        self.error_rate = float(error_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.latency_s = float(latency_s)
+        self.match = match
+        self.injected_errors = 0
+        self.injected_corruptions = 0
+        self._fail_next = 0
+        self._fail_exc: Callable[[], BaseException] = \
+            lambda: OSError("injected transient read error")
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+
+    # -- scripting -----------------------------------------------------
+    def fail_next(self, n: int = 1,
+                  exc_factory: Optional[Callable[[], BaseException]] = None,
+                  ) -> None:
+        """Force the next ``n`` matching reads to fail (deterministic)."""
+        self._fail_next = int(n)
+        if exc_factory is not None:
+            self._fail_exc = exc_factory
+
+    # -- the sabotage itself -------------------------------------------
+    def _matches(self, name: str) -> bool:
+        return self.match is None or bool(self.match(name))
+
+    def _maybe_fail(self, name: str) -> None:
+        if not self._matches(name):
+            return
+        if self.latency_s > 0.0:
+            self._sleep(self.latency_s)
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            self.injected_errors += 1
+            raise self._fail_exc()
+        if self.error_rate > 0.0 and self._rng.random() < self.error_rate:
+            self.injected_errors += 1
+            raise OSError("injected transient read error")
+
+    def _maybe_corrupt(self, name: str, payload: bytes) -> bytes:
+        if (not self._matches(name) or len(payload) == 0
+                or self.corrupt_rate <= 0.0
+                or self._rng.random() >= self.corrupt_rate):
+            return payload
+        self.injected_corruptions += 1
+        position = int(self._rng.integers(len(payload)))
+        damaged = bytearray(payload)
+        damaged[position] ^= 0xFF
+        return bytes(damaged)
+
+    def corrupt_byte(self, payload: bytes,
+                     position: Optional[int] = None) -> bytes:
+        """Flip one byte (``position`` or seeded-random); for tests that
+        damage a blob in place via ``inner.write_bytes``."""
+        if position is None:
+            position = int(self._rng.integers(len(payload)))
+        damaged = bytearray(payload)
+        damaged[position] ^= 0xFF
+        self.injected_corruptions += 1
+        return bytes(damaged)
+
+    # -- StorageBackend surface ----------------------------------------
+    def read_bytes(self, name: str) -> bytes:
+        self._maybe_fail(name)
+        return self._maybe_corrupt(name, self.inner.read_bytes(name))
+
+    def read_view(self, name: str):
+        self._maybe_fail(name)
+        view = self.inner.read_view(name)
+        if self.corrupt_rate > 0.0 and self._matches(name):
+            # A view cannot be corrupted in place (it may be a shared
+            # mmap of the durable file); materialize a damaged copy.
+            return memoryview(self._maybe_corrupt(name, bytes(view)))
+        return view
+
+    def write_bytes(self, name: str, payload: bytes) -> int:
+        return self.inner.write_bytes(name, payload)
+
+    def exists(self, name: str) -> bool:
+        self._maybe_fail(name)
+        return self.inner.exists(name)
+
+    def list(self):
+        return self.inner.list()
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def __getattr__(self, name: str):
+        # url / scheme / blob_version / batch — whatever the inner
+        # backend exposes beyond the protocol, delegate.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return (f"FaultInjectingBackend({self.inner!r}, "
+                f"error_rate={self.error_rate}, "
+                f"corrupt_rate={self.corrupt_rate})")

@@ -39,16 +39,26 @@ EXPECTED_ALL = {
     "lookup_range",
     "build_range_view",
     "ColumnTable",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "retry",
+    "CircuitBreaker",
+    "PartialResult",
+    "StoreCorruptedError",
+    "StoreNotFoundError",
     "baselines",
     "bench",
     "core",
     "data",
     "lifecycle",
     "nn",
+    "resilience",
     "serve",
     "shard",
     "storage",
     "store",
+    "testing",
 }
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""Circuit breaker state machine on a fake clock."""
+
+import pytest
+
+from repro.resilience import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                              CircuitOpenError)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("dep", failure_threshold=3, reset_timeout=10.0,
+                          clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED  # below threshold
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED  # streak was broken
+
+    def test_half_open_after_timeout_then_close_on_probe_success(
+            self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_for_a_full_period(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert breaker.state == OPEN  # a *full* fresh period
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_bounds_concurrent_probes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()       # probe slot taken
+        assert not breaker.allow()   # half_open_max=1: refuse the second
+
+    def test_call_wraps_and_reports_retry_eta(self, breaker, clock):
+        for _ in range(3):
+            breaker.call_count = 0
+            with pytest.raises(RuntimeError):
+                breaker.call(lambda: (_ for _ in ()).throw(
+                    RuntimeError("down")))
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError, match="retry in"):
+            breaker.call(lambda: "never runs")
+        clock.advance(10.0)
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state == CLOSED
+
+    def test_reset_force_closes(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()

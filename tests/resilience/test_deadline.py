@@ -1,0 +1,71 @@
+"""Deadline budgets: arithmetic, expiry, and combinators on a fake clock."""
+
+import pytest
+
+from repro.resilience import (DEFAULT_TIMEOUT_S, Deadline, DeadlineExceeded,
+                              default_timeout)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        assert not deadline.expired
+
+    def test_expiry_and_check(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        deadline.check("warmup")  # within budget: no raise
+        clock.advance(0.75)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="warmup.*250.0 ms"):
+            deadline.check("warmup")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        clock.advance(0.1)
+        with pytest.raises(TimeoutError):
+            deadline.check()
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.25)
+
+    def test_min_and_earliest(self):
+        clock = FakeClock()
+        short = Deadline(0.1, clock=clock)
+        long = Deadline(5.0, clock=clock)
+        assert short.min(long) is short
+        assert long.min(short) is short
+        assert short.min(None) is short
+        assert Deadline.earliest([None, long, short, None]) is short
+        assert Deadline.earliest([None, None]) is None
+        assert Deadline.earliest([]) is None
+
+    def test_timeout_or_clamps(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.timeout_or() == pytest.approx(2.0)
+        assert deadline.timeout_or(cap=0.5) == pytest.approx(0.5)
+        clock.advance(3.0)
+        assert deadline.timeout_or() == 0.0  # never negative
+
+    def test_default_timeout(self):
+        assert default_timeout() == DEFAULT_TIMEOUT_S
+        assert default_timeout(1.5) == 1.5

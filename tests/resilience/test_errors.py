@@ -1,0 +1,55 @@
+"""The typed error taxonomy: every resilience error stays catchable by
+the stdlib exception sites that predate it (the compatibility contract
+that let the layer land without breaking a single caller)."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (CircuitOpenError, DeadlineExceeded,
+                              PartialResultError, ResilienceError,
+                              StoreCorruptedError, StoreNotFoundError)
+
+
+class TestHierarchy:
+    def test_common_root(self):
+        for error_type in (StoreNotFoundError, StoreCorruptedError,
+                           DeadlineExceeded, PartialResultError,
+                           CircuitOpenError):
+            assert issubclass(error_type, ResilienceError)
+
+    def test_not_found_is_key_and_file_error(self):
+        # Pre-resilience callers catch KeyError (backends) or
+        # FileNotFoundError (facade paths); both keep working.
+        error = StoreNotFoundError("no blob named 'x'")
+        assert isinstance(error, KeyError)
+        assert isinstance(error, FileNotFoundError)
+        assert isinstance(error, OSError)
+
+    def test_not_found_str_is_not_repr_quoted(self):
+        # KeyError.__str__ would render the repr ("\"no blob...\"");
+        # the override keeps messages greppable and pytest.raises
+        # match= patterns working.
+        assert str(StoreNotFoundError("no blob named 'x'")) \
+            == "no blob named 'x'"
+
+    def test_corrupted_is_unpickling_error(self):
+        assert isinstance(StoreCorruptedError("bit flip"),
+                          pickle.UnpicklingError)
+
+    def test_deadline_is_timeout(self):
+        assert isinstance(DeadlineExceeded("late"), TimeoutError)
+
+    def test_circuit_open_is_connection_error(self):
+        assert isinstance(CircuitOpenError("open"), ConnectionError)
+
+    def test_partial_is_runtime_error(self):
+        assert isinstance(PartialResultError("lost keys"), RuntimeError)
+
+    def test_legacy_catch_sites_still_work(self):
+        with pytest.raises(KeyError, match="nope"):
+            raise StoreNotFoundError("no blob named 'nope'")
+        with pytest.raises(FileNotFoundError):
+            raise StoreNotFoundError("gone")
+        with pytest.raises(pickle.UnpicklingError):
+            raise StoreCorruptedError("checksum")

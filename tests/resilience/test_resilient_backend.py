@@ -1,0 +1,113 @@
+"""ResilientBackend: retried reads, pass-through writes, breaker trips."""
+
+import pytest
+
+from repro.resilience import (BACKEND_READ_RETRY, CircuitBreaker,
+                              CircuitOpenError, ResilientBackend,
+                              RetryPolicy, StoreNotFoundError)
+from repro.storage.backends import InMemoryBackend
+from repro.testing import FaultInjectingBackend
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+FAST = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0,
+                   retry_on=BACKEND_READ_RETRY.retry_on,
+                   give_up_on=BACKEND_READ_RETRY.give_up_on)
+
+
+@pytest.fixture
+def inner():
+    backend = InMemoryBackend()
+    backend.write_bytes("blob", b"payload-bytes")
+    return backend
+
+
+class TestRetriedReads:
+    def test_read_recovers_from_transient_errors(self, inner):
+        flaky = FaultInjectingBackend(inner)
+        flaky.fail_next(2)
+        backend = ResilientBackend(flaky, policy=FAST)
+        assert backend.read_bytes("blob") == b"payload-bytes"
+        assert flaky.injected_errors == 2
+
+    def test_absent_blob_is_not_retried(self, inner):
+        flaky = FaultInjectingBackend(inner)
+        backend = ResilientBackend(flaky, policy=FAST)
+        with pytest.raises(StoreNotFoundError):
+            backend.read_bytes("missing")
+        # A definitive miss must not have burned retry attempts: the
+        # breaker saw no failures either.
+        assert backend.breaker.state == "closed"
+
+    def test_exists_and_list_are_retried(self, inner):
+        flaky = FaultInjectingBackend(inner)
+        flaky.fail_next(1)
+        backend = ResilientBackend(flaky, policy=FAST)
+        assert backend.exists("blob")
+        assert "blob" in list(backend.list())
+
+    def test_writes_pass_through_unretried(self, inner):
+        flaky = FaultInjectingBackend(inner)
+        backend = ResilientBackend(flaky, policy=FAST)
+        backend.write_bytes("fresh", b"new")
+        assert inner.read_bytes("fresh") == b"new"
+        backend.delete("fresh")
+        assert not inner.exists("fresh")
+
+    def test_read_view_capability_forwarded_and_retried(self, inner):
+        flaky = FaultInjectingBackend(inner)
+        flaky.fail_next(1)
+        backend = ResilientBackend(flaky, policy=FAST)
+        assert bytes(backend.read_view("blob")) == b"payload-bytes"
+
+
+class TestBreakerIntegration:
+    def test_persistent_failure_trips_the_breaker(self, inner):
+        clock = FakeClock()
+        flaky = FaultInjectingBackend(inner)
+        flaky.fail_next(100)
+        breaker = CircuitBreaker("backend", failure_threshold=4,
+                                 reset_timeout=30.0, clock=clock)
+        backend = ResilientBackend(flaky, policy=FAST, breaker=breaker)
+        with pytest.raises(OSError):
+            backend.read_bytes("blob")  # 3 attempts, 3 failures
+        with pytest.raises((OSError, CircuitOpenError)):
+            backend.read_bytes("blob")  # crosses the threshold
+        assert breaker.state == "open"
+        # While open: refused without touching the backend.
+        touched_before = flaky.injected_errors
+        with pytest.raises(CircuitOpenError):
+            backend.read_bytes("blob")
+        assert flaky.injected_errors == touched_before
+
+    def test_breaker_recovers_through_half_open(self, inner):
+        clock = FakeClock()
+        flaky = FaultInjectingBackend(inner)
+        flaky.fail_next(4)
+        breaker = CircuitBreaker("backend", failure_threshold=4,
+                                 reset_timeout=30.0, clock=clock)
+        backend = ResilientBackend(flaky, policy=FAST, breaker=breaker)
+        with pytest.raises(OSError):
+            backend.read_bytes("blob")
+        with pytest.raises((OSError, CircuitOpenError)):
+            backend.read_bytes("blob")
+        assert breaker.state == "open"
+        clock.advance(30.0)
+        # Half-open: the probe read succeeds (faults exhausted) and
+        # closes the circuit.
+        assert backend.read_bytes("blob") == b"payload-bytes"
+        assert breaker.state == "closed"
+
+    def test_auto_breaker_named_after_backend_url(self, inner):
+        backend = ResilientBackend(inner)
+        assert inner.url in backend.breaker.name

@@ -1,0 +1,131 @@
+"""retry(): attempt counting, backoff shape, give-up classes, deadlines."""
+
+import random
+
+import pytest
+
+from repro.resilience import (CircuitBreaker, CircuitOpenError, Deadline,
+                              DeadlineExceeded, RetryPolicy,
+                              StoreNotFoundError, retry)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value="ok",
+                 exc_factory=lambda: OSError("transient")):
+        self.failures = failures
+        self.value = value
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return self.value
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        fn = Flaky(failures=2)
+        assert retry(fn, RetryPolicy(attempts=3), sleep=no_sleep) == "ok"
+        assert fn.calls == 3
+
+    def test_exhausted_attempts_raise_last_error(self):
+        fn = Flaky(failures=10)
+        with pytest.raises(OSError, match="transient"):
+            retry(fn, RetryPolicy(attempts=3), sleep=no_sleep)
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(failures=10, exc_factory=lambda: ValueError("logic bug"))
+        with pytest.raises(ValueError):
+            retry(fn, RetryPolicy(attempts=5), sleep=no_sleep)
+        assert fn.calls == 1
+
+    def test_give_up_on_definitive_subclass(self):
+        # StoreNotFoundError IS an OSError, but retrying an absent blob
+        # is pointless — give_up_on short-circuits the schedule.
+        fn = Flaky(failures=10,
+                   exc_factory=lambda: StoreNotFoundError("no blob 'x'"))
+        policy = RetryPolicy(attempts=5, retry_on=(OSError,),
+                             give_up_on=(StoreNotFoundError,))
+        with pytest.raises(StoreNotFoundError):
+            retry(fn, policy, sleep=no_sleep)
+        assert fn.calls == 1
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.backoff(0, rng) == pytest.approx(0.1)
+        assert policy.backoff(1, rng) == pytest.approx(0.2)
+        assert policy.backoff(4, rng) == pytest.approx(0.5)  # capped
+
+    def test_full_jitter_spreads_below_ceiling(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=1.0)
+        rng = random.Random(7)
+        samples = [policy.backoff(0, rng) for _ in range(64)]
+        assert all(0.0 <= s <= 1.0 for s in samples)
+        assert max(samples) - min(samples) > 0.2  # actually spread
+
+    def test_sleeps_between_attempts_but_not_after_last(self):
+        sleeps = []
+        fn = Flaky(failures=10)
+        with pytest.raises(OSError):
+            retry(fn, RetryPolicy(attempts=3, jitter=0.0, base_delay=0.05),
+                  sleep=sleeps.append)
+        assert len(sleeps) == 2  # between 1->2 and 2->3 only
+
+    def test_deadline_stops_the_loop(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+
+        def failing():
+            clock.advance(0.6)  # each attempt burns budget
+            raise OSError("transient")
+
+        with pytest.raises(DeadlineExceeded) as info:
+            retry(failing, RetryPolicy(attempts=10), deadline=deadline,
+                  sleep=no_sleep)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_backoff_clamped_to_remaining_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        sleeps = []
+        fn = Flaky(failures=1)
+        policy = RetryPolicy(attempts=3, base_delay=10.0, jitter=0.0)
+        assert retry(fn, policy, deadline=deadline,
+                     sleep=sleeps.append) == "ok"
+        assert sleeps == [pytest.approx(0.1)]
+
+    def test_open_breaker_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=2, clock=clock)
+        fn = Flaky(failures=10)
+        with pytest.raises(OSError):
+            retry(fn, RetryPolicy(attempts=2), breaker=breaker,
+                  sleep=no_sleep)
+        assert breaker.state == "open"
+        # Fresh call against the tripped breaker: refused before fn runs.
+        calls_before = fn.calls
+        with pytest.raises(CircuitOpenError):
+            retry(fn, RetryPolicy(attempts=2), breaker=breaker,
+                  sleep=no_sleep)
+        assert fn.calls == calls_before

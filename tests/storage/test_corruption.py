@@ -1,0 +1,240 @@
+"""End-to-end corruption detection: a flipped byte anywhere in a
+persisted store must surface as a typed :class:`StoreCorruptedError` —
+never a silent wrong answer, never a raw ``struct.error`` — and absent
+blobs must surface as :class:`StoreNotFoundError` naming blob and URL.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.resilience import StoreCorruptedError, StoreNotFoundError
+from repro.storage import zerocopy
+from repro.storage.backends import (InMemoryBackend, LocalDirBackend,
+                                    ZipBackend)
+from repro.storage.blob_cache import BlobCache
+from repro.testing import FaultInjectingBackend
+
+
+@pytest.fixture
+def table():
+    keys = np.arange(256, dtype=np.int64)
+    return repro.ColumnTable(
+        {"sku": keys, "price": (keys * 7) % 101}, key=("sku",))
+
+
+def build_monolithic(table, path: str) -> None:
+    repro.build(table, repro.DeepMappingConfig(epochs=1, seed=0),
+                url=path).close()
+
+
+def flip_file_byte(path, position: int) -> None:
+    payload = bytearray(path.read_bytes())
+    payload[position] ^= 0xFF
+    path.write_bytes(bytes(payload))
+
+
+def flip_blob_byte(backend, name: str, position: int) -> None:
+    payload = bytearray(backend.read_bytes(name))
+    payload[position] ^= 0xFF
+    backend.write_bytes(name, bytes(payload))
+
+
+class TestMonolithicCorruption:
+    @pytest.mark.parametrize("where", ["head", "middle", "tail"])
+    def test_single_flipped_byte_is_caught(self, tmp_path, table, where):
+        path = tmp_path / "store.dm"
+        build_monolithic(table, str(path))
+        size = len(path.read_bytes())
+        position = {"head": len(zerocopy.MAGIC) + 1,
+                    "middle": size // 2,
+                    "tail": size - 9}[where]
+        flip_file_byte(path, position)
+        with pytest.raises(StoreCorruptedError):
+            repro.open(str(path))
+
+    def test_truncated_payload_is_caught(self, tmp_path, table):
+        path = tmp_path / "store.dm"
+        build_monolithic(table, str(path))
+        payload = path.read_bytes()
+        path.write_bytes(payload[:len(payload) // 2])
+        with pytest.raises(StoreCorruptedError):
+            repro.open(str(path))
+
+    def test_error_is_still_an_unpickling_error(self, tmp_path, table):
+        # The pre-resilience facade caught pickle.UnpicklingError; the
+        # typed error must remain catchable there.
+        import pickle
+        path = tmp_path / "store.dm"
+        build_monolithic(table, str(path))
+        flip_file_byte(path, len(path.read_bytes()) // 2)
+        with pytest.raises(pickle.UnpicklingError):
+            repro.open(str(path))
+
+    def test_healthy_reopen_unaffected(self, tmp_path, table):
+        url = str(tmp_path / "store.dm")
+        store = repro.build(table, repro.DeepMappingConfig(epochs=1, seed=0),
+                            url=url)
+        want = store.lookup({"sku": np.arange(64, dtype=np.int64)})
+        store.close()
+        with repro.open(url) as reopened:
+            got = reopened.lookup({"sku": np.arange(64, dtype=np.int64)})
+        assert np.array_equal(got.found, want.found)
+        assert np.array_equal(got.values["price"], want.values["price"])
+
+
+class TestShardedCorruption:
+    def test_flipped_byte_in_one_shard_payload(self, tmp_path, table):
+        url = str(tmp_path / "sharded")
+        repro.build(table, repro.DeepMappingConfig(epochs=1, seed=0),
+                    shards=4, url=url).close()
+        backend = LocalDirBackend(url)
+        shard_blobs = sorted(n for n in backend.list()
+                             if n.startswith("shard-"))
+        assert shard_blobs
+        flip_blob_byte(backend, shard_blobs[0],
+                       len(backend.read_bytes(shard_blobs[0])) // 2)
+        with pytest.raises(StoreCorruptedError):
+            repro.open(url)
+
+    def test_corrupt_manifest_names_blob_and_url(self, tmp_path, table):
+        url = str(tmp_path / "sharded")
+        repro.build(table, repro.DeepMappingConfig(epochs=1, seed=0),
+                    shards=2, url=url).close()
+        backend = LocalDirBackend(url)
+        backend.write_bytes("manifest.json", b"{not json")
+        with pytest.raises(StoreCorruptedError, match="manifest.json"):
+            repro.open(url)
+
+    def test_wrong_format_manifest_is_corruption(self, tmp_path, table):
+        url = str(tmp_path / "sharded")
+        repro.build(table, repro.DeepMappingConfig(epochs=1, seed=0),
+                    shards=2, url=url).close()
+        backend = LocalDirBackend(url)
+        backend.write_bytes("manifest.json",
+                            json.dumps({"format": "who-knows"}).encode())
+        with pytest.raises(StoreCorruptedError):
+            repro.open(url)
+
+
+class TestNotFound:
+    def test_missing_blob_names_blob_and_url(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path))
+        with pytest.raises(StoreNotFoundError) as info:
+            backend.read_bytes("absent.bin")
+        message = str(info.value)
+        assert "absent.bin" in message
+        assert backend.url in message
+
+    def test_memory_and_zip_backends_agree(self, tmp_path):
+        memory = InMemoryBackend()
+        with pytest.raises(StoreNotFoundError, match="nothing"):
+            memory.read_bytes("nothing")
+        archive = ZipBackend(str(tmp_path / "store.zip"))
+        archive.write_bytes("present", b"x")
+        with pytest.raises(StoreNotFoundError, match="gone"):
+            archive.read_bytes("gone")
+
+    def test_open_absent_store_is_not_found(self, tmp_path):
+        with pytest.raises(StoreNotFoundError):
+            repro.open(str(tmp_path / "never-built"))
+        # and still a FileNotFoundError for pre-resilience callers
+        with pytest.raises(FileNotFoundError):
+            repro.open(str(tmp_path / "never-built"))
+
+    def test_unreadable_zip_is_corruption(self, tmp_path):
+        path = tmp_path / "broken.zip"
+        path.write_bytes(b"PK\x03\x04 this is no longer a zip")
+        with pytest.raises(StoreCorruptedError):
+            ZipBackend(str(path)).read_bytes("anything")
+
+
+class TestReadSideRetry:
+    def test_blob_cache_retries_torn_read_once(self, table):
+        # A corrupt first read followed by a clean re-read (the torn-read
+        # race with an atomic replace) must heal invisibly.
+        backend = InMemoryBackend()
+        payload = zerocopy.pack({"arr": np.arange(32)})
+        backend.write_bytes("blob", payload)
+        flaky = FaultInjectingBackend(backend)
+        cache = BlobCache(budget_bytes=None)
+        attempts = []
+
+        def loader():
+            raw = flaky.read_bytes("blob")
+            if not attempts:
+                raw = flaky.corrupt_byte(raw, position=len(raw) // 2)
+            attempts.append(1)
+            return zerocopy.unpack(raw), len(raw)
+
+        state = cache.get(flaky, "blob", loader)
+        assert np.array_equal(state["arr"], np.arange(32))
+        assert len(attempts) == 2
+        assert cache.corruption_retries == 1
+
+    def test_persistent_corruption_propagates_typed(self, table):
+        backend = InMemoryBackend()
+        payload = bytearray(zerocopy.pack({"arr": np.arange(32)}))
+        payload[len(payload) // 2] ^= 0xFF
+        backend.write_bytes("blob", bytes(payload))
+        cache = BlobCache(budget_bytes=None)
+
+        def loader():
+            raw = backend.read_bytes("blob")
+            return zerocopy.unpack(raw), len(raw)
+
+        with pytest.raises(StoreCorruptedError):
+            cache.get(backend, "blob", loader)
+        assert cache.corruption_retries == 1  # retried once, then raised
+
+
+class TestLegacyContainers:
+    def _as_v1(self, payload: bytes, n_buffers: int) -> bytes:
+        # v1 is the identical layout minus the CRC footer, under the old
+        # magic. Reconstruct one from a v2 payload to prove old stores
+        # written before checksumming still load.
+        footer = 4 * (n_buffers + 1)
+        return zerocopy.MAGIC_V1 + bytes(payload[len(zerocopy.MAGIC):-footer])
+
+    def test_v1_container_still_unpacks(self):
+        obj = {"arr": np.arange(128, dtype=np.float32), "tag": "legacy"}
+        packed = zerocopy.pack(obj)
+        n_buffers = len(pickle_buffer_count(obj))
+        legacy = self._as_v1(bytes(packed), n_buffers)
+        assert zerocopy.is_packed(legacy)
+        restored = zerocopy.unpack(legacy)
+        assert restored["tag"] == "legacy"
+        assert np.array_equal(restored["arr"], obj["arr"])
+
+    def test_v1_corruption_goes_undetected_but_v2_catches_it(self):
+        # The whole point of the v2 footer: the same bit flip that v1
+        # silently absorbs (or fails unpredictably on) is a typed error
+        # under v2.
+        obj = {"arr": np.arange(128, dtype=np.float32)}
+        packed = bytearray(zerocopy.pack(obj))
+        packed[len(packed) // 2] ^= 0xFF
+        with pytest.raises(StoreCorruptedError):
+            zerocopy.unpack(packed)
+
+
+def pickle_buffer_count(obj):
+    import pickle
+    buffers = []
+    pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    return buffers
+
+
+class TestDurability:
+    def test_write_is_atomic_and_dir_synced(self, tmp_path):
+        # Behavioral floor for the fsync-the-directory change: the write
+        # goes through the temp-file + rename path, leaves no temp
+        # droppings, and the payload is durable and byte-exact.
+        backend = LocalDirBackend(str(tmp_path / "container"))
+        backend.write_bytes("blob.bin", b"\x00" * 1024)
+        backend.write_bytes("blob.bin", b"replacement")
+        files = os.listdir(str(tmp_path / "container"))
+        assert files == ["blob.bin"]  # no orphaned temp files
+        assert backend.read_bytes("blob.bin") == b"replacement"
