@@ -90,6 +90,18 @@ class CircuitBreaker:
                 self._state = CLOSED
                 self._probes = 0
 
+    def release(self) -> None:
+        """Return a probe slot granted by :meth:`allow` whose call ended
+        in a *neutral* outcome — a definitive answer (a ``give_up_on``
+        exception like an absent blob) or an exception the retry policy
+        does not classify.  Neither closes nor reopens the circuit; it
+        only frees the half-open slot so the next probe can run instead
+        of the breaker wedging half-open forever.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes > 0:
+                self._probes -= 1
+
     def record_failure(self) -> None:
         with self._lock:
             state = self._poll()

@@ -89,6 +89,11 @@ def retry(fn: Callable[[], T],
             result = fn()
         except policy.retry_on as exc:
             if policy.give_up_on and isinstance(exc, policy.give_up_on):
+                # A definitive answer, not a fault: it does not feed the
+                # breaker, but the probe slot :meth:`allow` granted must
+                # still come back or a half-open breaker wedges forever.
+                if breaker is not None:
+                    breaker.release()
                 raise
             last_error = exc
             if breaker is not None:
@@ -105,6 +110,12 @@ def retry(fn: Callable[[], T],
                 pause = min(pause, remaining)
             if pause > 0.0:
                 sleep(pause)
+        except BaseException:
+            # Outside the policy's vocabulary entirely: propagate, but
+            # release the probe slot first (same wedge as give-up-on).
+            if breaker is not None:
+                breaker.release()
+            raise
         else:
             if breaker is not None:
                 breaker.record_success()

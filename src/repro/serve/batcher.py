@@ -142,8 +142,17 @@ class Batcher:
                 f"(max_queue_requests={limit})")
         if not self._pending:
             self._deadline = self.clock() + self.policy.max_delay_seconds
-        if request.deadline is not None:
-            self._deadline = min(self._deadline, request.deadline.expires_at)
+        if request.deadline is not None \
+                and request.deadline.expires_at < self._deadline:
+            # Pull the flush point earlier for the urgent waiter — but
+            # never *to* its expiry: a timer firing at ``expires_at``
+            # expires the request before the store call it queued for.
+            # Flush halfway through its remaining budget so service
+            # keeps the other half (an already-expired waiter flushes
+            # now and fails alone in the pre-execute prune).
+            now = self.clock()
+            remaining = max(0.0, request.deadline.expires_at - now)
+            self._deadline = now + remaining / 2.0
         self._pending.append(request)
         self._pending_keys += request.n_keys
         return self._pending_keys >= self.policy.max_batch_keys

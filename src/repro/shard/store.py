@@ -488,8 +488,18 @@ class ShardedDeepMapping:
                         raise
                     shard_errors[job[0]] = exc
         else:
-            futures = [(job, submit_job(run_job, job, deadline=deadline))
-                       for job in jobs]
+            def submit_one(job):
+                if deadline is None:
+                    return submit_job(run_job, job)
+                try:
+                    return submit_job(run_job, job, deadline=deadline)
+                except TypeError:
+                    # Custom strategy whose submit_job() lacks the
+                    # deadline capability (pre-resilience signature):
+                    # the per-job check still honors the budget.
+                    return submit_job(run_job, job)
+
+            futures = [(job, submit_one(job)) for job in jobs]
             for job, future in futures:
                 ordinal = job[0]
                 try:
@@ -504,7 +514,15 @@ class ShardedDeepMapping:
                     # straggler.  Must precede the FutureTimeoutError
                     # arm: DeadlineExceeded is a TimeoutError subclass.
                     shard_errors[ordinal] = exc
-                except FutureTimeoutError:
+                except FutureTimeoutError as exc:
+                    if future.done():
+                        # On 3.11+ FutureTimeoutError aliases builtin
+                        # TimeoutError, so this arm also sees a plain
+                        # TimeoutError raised *inside* a finished job
+                        # (e.g. a backend socket timeout).  That is an
+                        # ordinary shard failure, not a straggler.
+                        shard_errors[ordinal] = exc
+                        continue
                     # Budget exhausted while this shard still runs.  The
                     # job either never starts (the executor's dequeue
                     # gate fails it) or finishes late into arrays we are

@@ -383,9 +383,11 @@ class ZipBackend:
                     with zipfile.ZipFile(self.path, "r") as archive:
                         for info in archive.infolist():
                             blobs[info.filename] = archive.read(info)
-                except (zipfile.BadZipFile, EOFError, OSError) as exc:
-                    if isinstance(exc, FileNotFoundError):
-                        raise
+                except (zipfile.BadZipFile, EOFError) as exc:
+                    # Only genuinely mangled bytes are corruption.  Other
+                    # OSErrors (EIO, EACCES, network-fs hiccups) propagate
+                    # as-is so ResilientBackend still retries them instead
+                    # of giving up on a transient fault.
                     raise StoreCorruptedError(
                         f"archive {self.url} is not a readable zip: {exc}"
                     ) from exc

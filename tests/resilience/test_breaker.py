@@ -91,6 +91,23 @@ class TestStateMachine:
         assert breaker.call(lambda: "recovered") == "recovered"
         assert breaker.state == CLOSED
 
+    def test_release_frees_a_half_open_probe_slot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()          # probe slot taken
+        breaker.release()               # neutral outcome returns it
+        assert breaker.state == HALF_OPEN  # neither closed nor reopened
+        assert breaker.allow()          # the next probe can run
+
+    def test_release_outside_half_open_is_a_noop(self, breaker):
+        breaker.release()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.release()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
     def test_reset_force_closes(self, breaker):
         for _ in range(3):
             breaker.record_failure()

@@ -115,6 +115,48 @@ class TestRetry:
                      sleep=sleeps.append) == "ok"
         assert sleeps == [pytest.approx(0.1)]
 
+    def test_give_up_during_half_open_probe_releases_the_slot(self):
+        # Regression: a give-up-on answer (absent blob) during the single
+        # half-open probe used to leak the probe slot, wedging the
+        # breaker half-open and refusing every later call forever.
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=2,
+                                 reset_timeout=10.0, half_open_max=1,
+                                 clock=clock)
+        policy = RetryPolicy(attempts=2, retry_on=(OSError,),
+                             give_up_on=(StoreNotFoundError,))
+        with pytest.raises(OSError):
+            retry(Flaky(failures=10), policy, breaker=breaker,
+                  sleep=no_sleep)
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        # First half-open probe hits an absent blob: a definitive answer
+        # that neither closes nor reopens the circuit.
+        with pytest.raises(StoreNotFoundError):
+            retry(Flaky(failures=10,
+                        exc_factory=lambda: StoreNotFoundError("no blob")),
+                  policy, breaker=breaker, sleep=no_sleep)
+        # The slot came back: the recovered backend is reachable again.
+        assert retry(lambda: "ok", policy, breaker=breaker,
+                     sleep=no_sleep) == "ok"
+        assert breaker.state == "closed"
+
+    def test_unclassified_exception_during_probe_releases_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("dep", failure_threshold=2,
+                                 reset_timeout=10.0, clock=clock)
+        policy = RetryPolicy(attempts=2, retry_on=(OSError,))
+        with pytest.raises(OSError):
+            retry(Flaky(failures=10), policy, breaker=breaker,
+                  sleep=no_sleep)
+        clock.advance(10.0)
+        with pytest.raises(ValueError):
+            retry(Flaky(failures=10,
+                        exc_factory=lambda: ValueError("logic bug")),
+                  policy, breaker=breaker, sleep=no_sleep)
+        assert retry(lambda: "ok", policy, breaker=breaker,
+                     sleep=no_sleep) == "ok"
+
     def test_open_breaker_fails_fast(self):
         clock = FakeClock()
         breaker = CircuitBreaker("dep", failure_threshold=2, clock=clock)

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.resilience import Deadline
 from repro.serve import AdmissionPolicy, Batcher, QueueFullError
 from repro.serve.batcher import PendingRequest, normalize_request_keys
 
@@ -27,10 +28,12 @@ class FakeClock:
         self.now += seconds
 
 
-def request(n_keys: int, tenant: str = "t") -> PendingRequest:
+def request(n_keys: int, tenant: str = "t",
+            deadline=None) -> PendingRequest:
     keys = normalize_request_keys(
         {"sku": np.arange(n_keys, dtype=np.int64)}, ("sku",))
-    return PendingRequest(keys, tenant, future=None, admitted_at=0.0)
+    return PendingRequest(keys, tenant, future=None, admitted_at=0.0,
+                          deadline=deadline)
 
 
 class TestPolicyValidation:
@@ -81,6 +84,46 @@ class TestDelayTrigger:
         clock.advance(60.0)
         batcher.add(request(1))
         assert batcher.deadline() == pytest.approx(clock.now + 0.005)
+
+
+class TestUrgentWaiterMargin:
+    def test_urgent_pull_leaves_service_budget(self):
+        # Regression: the flush point used to be pulled to exactly the
+        # urgent waiter's expiry, so the timer fired with zero budget
+        # left and the waiter was always expired, never served.
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_delay_ms=20.0), clock=clock)
+        deadline = Deadline(0.005, clock=clock)  # 5 ms budget
+        batcher.add(request(1, deadline=deadline))
+        due = batcher.deadline()
+        # Pulled ahead of the 20 ms policy point, but NOT to the expiry:
+        # the flush keeps half the remaining budget for the store call.
+        assert due == pytest.approx(clock.now + 0.0025)
+        clock.now = due
+        assert batcher.due()
+        assert not deadline.expired
+
+    def test_relaxed_deadline_does_not_pull_the_flush(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_delay_ms=2.0), clock=clock)
+        batcher.add(request(1, deadline=Deadline(1.0, clock=clock)))
+        assert batcher.deadline() == pytest.approx(clock.now + 0.002)
+
+    def test_more_urgent_waiter_pulls_again_never_later(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000,
+                                          max_delay_ms=20.0), clock=clock)
+        batcher.add(request(1, deadline=Deadline(0.010, clock=clock)))
+        first = batcher.deadline()
+        batcher.add(request(1, deadline=Deadline(0.002, clock=clock)))
+        second = batcher.deadline()
+        assert second < first
+        assert second == pytest.approx(clock.now + 0.001)
+        # a laggard with a roomy budget never moves the flush back
+        batcher.add(request(1, deadline=Deadline(0.500, clock=clock)))
+        assert batcher.deadline() == second
 
 
 class TestSizeTrigger:

@@ -12,7 +12,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.resilience import PartialResult, PartialResultError
+from repro.resilience import (DeadlineExceeded, PartialResult,
+                              PartialResultError)
 from repro.shard import ShardedDeepMapping, ShardingConfig
 from repro.testing import break_shard
 
@@ -98,6 +99,27 @@ class TestPartialContract:
                              on_shard_error="raise")
         finally:
             restore()
+
+
+class TestTimeoutClassification:
+    def test_job_raised_timeout_is_a_shard_error_not_a_straggler(
+            self, store, all_keys):
+        # On 3.11+ concurrent.futures.TimeoutError aliases the builtin
+        # TimeoutError, so a timeout raised *inside* a finished shard
+        # job (e.g. a backend socket timeout) used to be misclassified
+        # as a deadline straggler and wrapped in DeadlineExceeded.
+        restore = break_shard(
+            store, 1,
+            exc_factory=lambda: TimeoutError("socket read timed out"))
+        try:
+            got = store.lookup({"key": all_keys[:400]})
+        finally:
+            restore()
+        assert isinstance(got, PartialResult)
+        error = got.shard_errors[1]
+        assert isinstance(error, TimeoutError)
+        assert not isinstance(error, DeadlineExceeded)
+        assert "socket read timed out" in str(error)
 
 
 class TestPartialParityProperty:

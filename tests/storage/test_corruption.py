@@ -151,6 +151,25 @@ class TestNotFound:
         with pytest.raises(StoreCorruptedError):
             ZipBackend(str(path)).read_bytes("anything")
 
+    def test_transient_zip_oserror_is_not_corruption(self, tmp_path,
+                                                     monkeypatch):
+        # EIO/EACCES while opening the archive is a transient I/O fault
+        # ResilientBackend should retry — labeling it corruption put it
+        # in the give-up class and made it permanently unretryable.
+        path = tmp_path / "store.zip"
+        ZipBackend(str(path)).write_bytes("blob", b"payload")
+        fresh = ZipBackend(str(path))  # cold cache: must touch disk
+
+        def flaky_open(*args, **kwargs):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr("repro.storage.backends.zipfile.ZipFile",
+                            flaky_open)
+        with pytest.raises(OSError) as info:
+            fresh.read_bytes("blob")
+        assert not isinstance(info.value, StoreCorruptedError)
+        assert info.value.errno == 5
+
 
 class TestReadSideRetry:
     def test_blob_cache_retries_torn_read_once(self, table):
