@@ -73,6 +73,15 @@ def _headline(name, data):
                 f"{acceptance.get('clients', '?')} clients",
                 f">= {_fmt(acceptance.get('target'), 'x')}",
                 measured)
+    if name == "prune":
+        all_miss = _fmt(acceptance.get("all_miss_measured"), "x")
+        cold = _fmt(acceptance.get("cold_open_measured"), "x")
+        mono = _fmt(data.get("pruning", {}).get("all_miss", {})
+                    .get("sharded_vs_monolithic"), "x")
+        return ("all-miss pruned vs unpruned; cold RO open vs legacy",
+                f">= {_fmt(acceptance.get('all_miss_target'), 'x')}; "
+                f">= {_fmt(acceptance.get('cold_open_target'), 'x')}",
+                f"{all_miss}; {cold} (all-miss vs monolithic {mono})")
     return (acceptance.get("metric", "(acceptance)"),
             _fmt(acceptance.get("target")),
             _fmt(acceptance.get("measured")))

@@ -5,8 +5,10 @@ from .aux_table import AuxiliaryTable
 from .config import DeepMappingConfig
 from .deep_mapping import DeepMapping, LookupResult, SizeReport
 from .exist_index import (ExistenceIndex, SparseExistenceIndex,
-                          load_existence, make_existence_index)
+                          existence_from_state, load_existence,
+                          make_existence_index)
 from .modify import ModificationTracker, estimate_batch_bytes
+from .negative_filter import NegativeFilter, hash_key_columns
 from .multikey import MultiKeyDeepMapping, MultiRelationDeepMapping
 from .query import QueryError, run_select, select
 from .range_query import build_range_view, lookup_range
@@ -22,8 +24,11 @@ __all__ = [
     "SparseExistenceIndex",
     "make_existence_index",
     "load_existence",
+    "existence_from_state",
     "ModificationTracker",
     "estimate_batch_bytes",
+    "NegativeFilter",
+    "hash_key_columns",
     "MultiKeyDeepMapping",
     "MultiRelationDeepMapping",
     "lookup_range",

@@ -19,6 +19,7 @@ auxiliary structure so the retrain trigger sees the true footprint.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -78,6 +79,9 @@ class AuxiliaryTable:
         )
         self._overlay: Dict[int, Tuple[int, ...]] = {}
         self._tombstones: set = set()
+        self._pending: Optional[
+            Tuple[np.ndarray, Dict[str, np.ndarray]]] = None
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Build
@@ -93,6 +97,33 @@ class AuxiliaryTable:
         self._store.build(flat_keys, columns)
         self._overlay.clear()
         self._tombstones.clear()
+        # Cleared *after* the partitions land so a concurrent reader in
+        # :meth:`_ensure_built` never sees "built" before it is true.
+        self._pending = None
+
+    def build_lazy(self, flat_keys: np.ndarray,
+                   codes: Dict[str, np.ndarray]) -> None:
+        """Record rows but defer partition materialization to first use.
+
+        Read-only cold opens call this with zero-copy views into the
+        payload mapping (already pinned by the owning bundle), so the
+        deferral retains no extra memory; the compress-and-write cost of
+        :meth:`build` is paid on the first probe instead of at open
+        time.  Thread-safe: concurrent first probes build exactly once.
+        """
+        self._overlay.clear()
+        self._tombstones.clear()
+        self._pending = (flat_keys, codes)
+
+    def _ensure_built(self) -> None:
+        """Materialize partitions deferred by :meth:`build_lazy`."""
+        if self._pending is None:
+            return
+        with self._pending_lock:
+            pending = self._pending
+            if pending is None:      # lost the race: already built
+                return
+            self.build(*pending)
 
     @property
     def pool(self) -> BufferPool:
@@ -111,6 +142,7 @@ class AuxiliaryTable:
         reuses the same pool and name prefix, so stale cached blocks must
         not survive under the names the successor will fault in.
         """
+        self._pending = None
         self._store.drop_storage()
         self._overlay.clear()
         self._tombstones.clear()
@@ -126,6 +158,7 @@ class AuxiliaryTable:
         Overlay entries win over partitions; tombstoned keys read as
         absent.  Code arrays are int64 and only meaningful where ``found``.
         """
+        self._ensure_built()
         flat_keys = np.asarray(flat_keys, dtype=np.int64)
         found, raw = self._store.lookup_batch(flat_keys)
         codes = {t: np.asarray(raw[t], dtype=np.int64) for t in self.tasks}
@@ -161,6 +194,7 @@ class AuxiliaryTable:
     def remove_batch(self, flat_keys: np.ndarray) -> None:
         """Remove rows if present (deletes / updates the model now gets
         right).  Removal of an absent key is a no-op."""
+        self._ensure_built()
         flat_keys = np.asarray(flat_keys, dtype=np.int64)
         in_parts, _ = self._store.lookup_batch(flat_keys)
         for i, key in enumerate(flat_keys.tolist()):
@@ -183,6 +217,7 @@ class AuxiliaryTable:
         """Merge the overlay and tombstones back into compressed partitions."""
         if not self._overlay and not self._tombstones:
             return
+        self._ensure_built()
         keys, columns = self._store.scan()
         merged: Dict[int, Tuple[int, ...]] = {
             int(k): tuple(int(columns[t][i]) for t in self.tasks)
@@ -204,6 +239,7 @@ class AuxiliaryTable:
 
     def __len__(self) -> int:
         """Live row count (partitions − tombstones + fresh overlay rows)."""
+        self._ensure_built()
         overlay_new = sum(
             1 for key in self._overlay
             if not self._store.lookup_batch(np.array([key]))[0][0]
@@ -212,6 +248,7 @@ class AuxiliaryTable:
 
     def stored_bytes(self) -> int:
         """Offline footprint: compressed partitions + serialized overlay."""
+        self._ensure_built()
         overlay_bytes = 0
         if self._overlay or self._tombstones:
             overlay_bytes = serialized_size((self._overlay, self._tombstones))
@@ -220,10 +257,12 @@ class AuxiliaryTable:
     @property
     def partition_count(self) -> int:
         """Number of compressed partitions."""
+        self._ensure_built()
         return len(self._store.partitions)
 
     def scan(self) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
         """Materialize all live rows, sorted by key (overlay merged)."""
+        self._ensure_built()
         self_keys, columns = self._store.scan()
         merged: Dict[int, Tuple[int, ...]] = {
             int(k): tuple(int(columns[t][i]) for t in self.tasks)

@@ -44,7 +44,8 @@ from ..store.executors import (ExecutorStrategy, SerialStrategy,
                                make_executor)
 from .aux_table import AuxiliaryTable
 from .config import DeepMappingConfig
-from .exist_index import ExistenceIndex, load_existence, make_existence_index
+from .exist_index import (ExistenceIndex, existence_from_state,
+                          load_existence, make_existence_index)
 from .modify import (MIN_ROWS_FOR_RATIO_RETRAIN, ModificationTracker,
                      estimate_batch_bytes)
 
@@ -307,7 +308,17 @@ class LookupPlan:
         if self._ref_codes is not None:
             codes = self._ref_codes[task].copy()
             codes[self.aux_rows] = self._aux_codes[task]
-            return enc.decode(np.clip(codes, 0, enc.cardinality - 1))
+            out = enc.decode(np.clip(codes, 0, enc.cardinality - 1))
+            # Misses read the deterministic ``vocab[0]`` filler in BOTH
+            # engines — not whatever the model happened to predict —
+            # so compiled and reference lookups are bit-identical even
+            # outside the found mask, and the sharded store's
+            # miss-pruning tier can synthesize a pruned key's value
+            # without consulting the engine at all.
+            miss = ~self.found
+            if miss.any():
+                out[miss] = enc.decode(_ZERO_CODE)[0]
+            return out
         out = np.full(self.flat.size, enc.decode(_ZERO_CODE)[0],
                       dtype=enc.vocab.dtype)
         rows = self.model_rows
@@ -909,11 +920,39 @@ class DeepMapping:
 
         The payload is a :mod:`repro.storage.zerocopy` container: the
         pickled state plus out-of-band, 64-byte-aligned buffer segments
-        for every array (aux rows, vocabularies, codec domains).  Opened
-        through an mmap-capable backend with ``writable=False``, those
-        arrays materialize as views over shared pages instead of copies.
-        Legacy (plain-pickle) payloads remain readable.
+        for **every** array — aux rows, vocabularies, codec domains,
+        and (since the ``session_v2`` / ``exist_v2`` keys) the model
+        weights and existence bit-vector, which older payloads nested
+        inside pickled ``bytes`` blobs that had to be copied and
+        decompressed on every cold open.  Opened through an mmap-capable
+        backend with ``writable=False``, all of those arrays materialize
+        as views over shared pages instead of copies — the cold open is
+        pure mmap.  Legacy payloads (nested ``session`` / ``exist``
+        bytes, or pre-container plain pickle) remain readable.
         """
+        aux_keys, aux_codes = self.aux.scan()
+        state = {
+            "config": self.config,
+            "key_codec": self.key_codec.to_state(),
+            "key_encoder": self.key_encoder.to_state(),
+            "session_v2": self.session.to_state(),
+            "exist_v2": self.exist.to_state(),
+            "fdecode": self.fdecode.to_state(),
+            "aux_keys": aux_keys,
+            "aux_codes": aux_codes,
+            "dataset_bytes": self._dataset_bytes,
+            # Sec. IV-D lazy-update state: without this a loaded store
+            # would restart the retrain threshold from zero every reopen.
+            "tracker": self.tracker.to_state(),
+        }
+        return zerocopy.pack(state)
+
+    def _to_payload_legacy(self) -> bytearray:
+        """The pre-``*_v2`` payload layout: session and exist index as
+        nested pickled/compressed ``bytes``.  Kept (private) so the
+        compatibility tests and ``benchmarks/bench_prune.py`` can write
+        payloads in the old format and measure the cold-open cost the
+        ``*_v2`` keys removed."""
         aux_keys, aux_codes = self.aux.scan()
         state = {
             "config": self.config,
@@ -925,8 +964,6 @@ class DeepMapping:
             "aux_keys": aux_keys,
             "aux_codes": aux_codes,
             "dataset_bytes": self._dataset_bytes,
-            # Sec. IV-D lazy-update state: without this a loaded store
-            # would restart the retrain threshold from zero every reopen.
             "tracker": self.tracker.to_state(),
         }
         return zerocopy.pack(state)
@@ -962,8 +999,20 @@ class DeepMapping:
         pool: Optional[BufferPool],
         stats: StoreStats,
         aux_name_prefix: str,
+        lazy_aux: bool = False,
     ) -> Dict[str, object]:
-        """Materialize the shared components a payload state describes."""
+        """Materialize the shared components a payload state describes.
+
+        ``lazy_aux=True`` defers auxiliary-partition compression to the
+        first probe, and is honored only for array-first (``*_v2``)
+        payloads: there the ``aux_keys`` / ``aux_codes`` rows are
+        zero-copy views into a payload mapping the bundle pins anyway,
+        so deferral holds no extra memory and a cold ``writable=False``
+        open does no compress-and-write work at all.  Legacy payloads
+        keep the historical eager open — the compatibility path changes
+        no behavior, and their materialized row arrays are freed once
+        compressed.
+        """
         config: DeepMappingConfig = state["config"]
         fdecode = DecodeMap.from_state(state["fdecode"])
         aux = AuxiliaryTable(
@@ -976,14 +1025,28 @@ class DeepMapping:
             auto_compact_rows=config.aux_auto_compact_rows,
             name_prefix=aux_name_prefix,
         )
-        aux.build(state["aux_keys"], state["aux_codes"])
+        if lazy_aux and "session_v2" in state and "exist_v2" in state:
+            aux.build_lazy(state["aux_keys"], state["aux_codes"])
+        else:
+            aux.build(state["aux_keys"], state["aux_codes"])
+        # Prefer the array-first *_v2 keys (weights and exist bits come
+        # up as zero-copy views); fall back to the legacy nested-bytes
+        # keys so payloads written before the v2 layout still load.
+        if "session_v2" in state:
+            session = InferenceSession.from_state(state["session_v2"])
+        else:
+            session = InferenceSession.from_bytes(state["session"])
+        if "exist_v2" in state:
+            exist = existence_from_state(state["exist_v2"])
+        else:
+            exist = load_existence(state["exist"])
         return {
             "config": config,
             "key_codec": CompositeKeyCodec.from_state(state["key_codec"]),
             "key_encoder": KeyEncoder.from_state(state["key_encoder"]),
-            "session": InferenceSession.from_bytes(state["session"]),
+            "session": session,
             "aux": aux,
-            "exist": load_existence(state["exist"]),
+            "exist": exist,
             "fdecode": fdecode,
             "dataset_bytes": state["dataset_bytes"],
             "tracker": state.get("tracker"),
@@ -1059,17 +1122,21 @@ class DeepMapping:
         """Read-only open through the process-wide payload cache.
 
         Cold path: the payload is read as a zero-copy view (mmap'd on
-        ``file://`` backends), deserialized once, its auxiliary
-        partitions built and its lookup kernel compiled, and the whole
-        bundle cached under the blob's version stamp.  Warm path: the
-        cached bundle is wrapped directly — no I/O, no deserialization,
-        no aux rebuild, no recompile.
+        ``file://`` backends), deserialized once, its lookup kernel
+        compiled, and the whole bundle cached under the blob's version
+        stamp.  Array-first payloads defer auxiliary-partition
+        compression to the first probe (the rows are zero-copy views
+        into the pinned payload), so their cold open is pure mmap;
+        legacy payloads build partitions eagerly as before.  Warm path:
+        the cached bundle is wrapped directly — no I/O, no
+        deserialization, no aux rebuild, no recompile.
         """
         def loader():
             view = read_blob_view(backend, blob)
             state = cls._load_state(view, zero_copy=True)
             bundle = cls._components_from_state(
-                state, None, pool, StoreStats(), aux_name_prefix)
+                state, None, pool, StoreStats(), aux_name_prefix,
+                lazy_aux=True)
             # Hold the payload view explicitly: zero-copy arrays
             # reference it, and the bundle must outlive any of them.
             bundle["payload_view"] = view

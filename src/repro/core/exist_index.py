@@ -16,6 +16,13 @@ Two implementations share the interface:
 
 :func:`make_existence_index` picks automatically; :func:`load_existence`
 restores either from bytes.
+
+Serialization comes in two shapes.  ``to_bytes`` / ``load_existence`` is
+the legacy nested-``bytes`` form (tagged, zlib-compressed) still read
+from old payloads.  ``to_state`` / :func:`existence_from_state` is the
+zero-copy form: a small dict whose arrays stay first-class, so the RZC2
+container exports them as out-of-band segments and a ``writable=False``
+cold open wraps the mmap bytes directly — no decompression, no copy.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ __all__ = [
     "SparseExistenceIndex",
     "make_existence_index",
     "load_existence",
+    "existence_from_state",
 ]
 
 #: Use the dense bit vector while domain_size <= this multiple of the
@@ -98,6 +106,16 @@ class ExistenceIndex:
         index = cls.__new__(cls)
         index._bits = bits
         return index
+
+    def to_state(self) -> dict:
+        """Array-first state for the zero-copy container.
+
+        The packed bit buffer rides as a plain ``uint8`` array (shared,
+        not copied here — the container snapshots it at pack time), so a
+        read-only open wraps the mmap bytes with zero decompression.
+        """
+        return {"kind": "dense", "size": self.domain_size,
+                "bits": self._bits.packed}
 
     def __repr__(self) -> str:
         return f"ExistenceIndex(domain={self.domain_size}, live={self.count()})"
@@ -189,6 +207,12 @@ class SparseExistenceIndex:
         index._keys = np.cumsum(deltas).astype(np.int64)
         return index
 
+    def to_state(self) -> dict:
+        """Array-first state for the zero-copy container (keys stay a
+        first-class ``int64`` array; no delta coding, no compression)."""
+        return {"kind": "sparse", "domain": self._domain,
+                "keys": self._keys}
+
     def _checked(self, flat_keys) -> np.ndarray:
         arr = np.asarray(flat_keys, dtype=np.int64)
         if arr.size and (arr.min() < 0 or arr.max() >= self._domain):
@@ -215,3 +239,24 @@ def load_existence(payload: bytes):
     if tag == b"S":
         return SparseExistenceIndex.from_bytes(payload)
     return ExistenceIndex.from_bytes(payload)
+
+
+def existence_from_state(state: dict):
+    """Restore whichever index ``to_state`` produced — **without copying**.
+
+    The arrays are adopted as-is: under a ``writable=False`` open they
+    are read-only views straight into the container mmap (mutation
+    raises, per the store contract); under a writable load the container
+    hands over private bytearray-backed buffers, so in-place updates
+    work exactly as before.
+    """
+    kind = state["kind"]
+    if kind == "sparse":
+        index = SparseExistenceIndex(int(state["domain"]))
+        index._keys = np.asarray(state["keys"], dtype=np.int64)
+        return index
+    if kind != "dense":
+        raise ValueError(f"unknown existence-index kind {kind!r}")
+    index = ExistenceIndex.__new__(ExistenceIndex)
+    index._bits = BitVector.wrap(int(state["size"]), state["bits"])
+    return index

@@ -23,6 +23,17 @@ from .multitask import ArchitectureSpec, MultiTaskMLP
 __all__ = ["InferenceSession"]
 
 
+def _spec_from_dict(spec: Dict[str, object]) -> ArchitectureSpec:
+    """Rebuild an :class:`ArchitectureSpec` from its serialized fields."""
+    return ArchitectureSpec(
+        input_dim=spec["input_dim"],
+        shared_sizes=tuple(spec["shared_sizes"]),
+        private_sizes={t: tuple(v)
+                       for t, v in spec["private_sizes"].items()},
+        output_dims=dict(spec["output_dims"]),
+    )
+
+
 class InferenceSession:
     """Forward-only snapshot of a multi-task model.
 
@@ -119,18 +130,49 @@ class InferenceSession:
     def from_bytes(cls, payload: bytes) -> "InferenceSession":
         """Inverse of :meth:`to_bytes`."""
         data = pickle.loads(payload)
-        spec = ArchitectureSpec(
-            input_dim=data["spec"]["input_dim"],
-            shared_sizes=tuple(data["spec"]["shared_sizes"]),
-            private_sizes={t: tuple(v) for t, v in data["spec"]["private_sizes"].items()},
-            output_dims=dict(data["spec"]["output_dims"]),
-        )
         session = cls.__new__(cls)
-        session.spec = spec
+        session.spec = _spec_from_dict(data["spec"])
         session.weight_dtype = np.dtype(data["weight_dtype"])
         session._shared = data["shared"]
         session._heads = data["heads"]
         session._nbytes = len(payload)
+        return session
+
+    def to_state(self) -> Dict[str, object]:
+        """Array-first state for the zero-copy container.
+
+        Unlike :meth:`to_bytes` (one nested pickle blob the loader must
+        copy and re-parse), every weight array here stays first-class,
+        so the RZC2 container exports them as out-of-band segments and a
+        ``writable=False`` cold open maps them straight off disk.  The
+        arrays are shared, not copied — the container snapshots them at
+        pack time, and the weights are frozen anyway.
+        """
+        return {
+            "spec": {
+                "input_dim": self.spec.input_dim,
+                "shared_sizes": self.spec.shared_sizes,
+                "private_sizes": self.spec.private_sizes,
+                "output_dims": self.spec.output_dims,
+            },
+            "weight_dtype": self.weight_dtype.str,
+            "shared": [(w, b) for w, b in self._shared],
+            "heads": {task: [(w, b) for w, b in chain]
+                      for task, chain in self._heads.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "InferenceSession":
+        """Inverse of :meth:`to_state` — adopts the arrays without
+        copying or re-casting (read-only mmap views stay views; the
+        forward pass only ever reads them)."""
+        session = cls.__new__(cls)
+        session.spec = _spec_from_dict(state["spec"])
+        session.weight_dtype = np.dtype(state["weight_dtype"])
+        session._shared = [tuple(pair) for pair in state["shared"]]
+        session._heads = {task: [tuple(pair) for pair in chain]
+                          for task, chain in state["heads"].items()}
+        session._nbytes = None
         return session
 
     def state_arrays(self) -> Dict[str, np.ndarray]:

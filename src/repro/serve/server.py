@@ -216,6 +216,14 @@ class LookupServer:
         self.stats.record_batch(len(batch), n_keys, n_unique)
         deadline = Deadline.earliest(
             r.deadline for r in batch if r.deadline is not None)
+        # The sharded store counts manifest-filter pruning in its own
+        # stats; bracket the fused call so the tier can attribute this
+        # batch's pruned keys to its tenants.  The delta is approximate
+        # when batches overlap in flight — fine for telemetry.
+        counters = getattr(getattr(self.store, "stats", None),
+                           "counters", None)
+        pruned_before = (counters.get("pruned_keys", 0)
+                         if counters is not None else 0)
         try:
             # Coordinator lane: the store's executor runs the fused
             # batch off-loop; shard fan-out uses its separate worker
@@ -245,6 +253,14 @@ class LookupServer:
             self.stats.record_fallback()
             await self._execute_individually(batch)
             return
+        if counters is not None:
+            contributions: dict = {}
+            for request in batch:
+                contributions[request.tenant] = (
+                    contributions.get(request.tenant, 0) + request.n_keys)
+            self.stats.record_pruned(
+                counters.get("pruned_keys", 0) - pruned_before,
+                contributions)
         now = self._loop.time()
         for request, (lo, hi) in zip(batch, slices):
             if request.future.done():

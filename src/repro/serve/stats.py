@@ -63,12 +63,16 @@ class LatencyRing:
 class TenantStats:
     """One tenant's view: volume, failures, and latency percentiles."""
 
-    __slots__ = ("requests", "keys", "errors", "latencies")
+    __slots__ = ("requests", "keys", "errors", "pruned_keys", "latencies")
 
     def __init__(self, latency_window: int = 4096):
         self.requests = 0
         self.keys = 0
         self.errors = 0
+        #: Keys the sharded store's manifest-tier negative filters
+        #: pruned before dispatch, attributed to this tenant (see
+        #: ``ServeStats.record_pruned`` for attribution semantics).
+        self.pruned_keys = 0
         self.latencies = LatencyRing(latency_window)
 
     def p50(self) -> Optional[float]:
@@ -84,6 +88,7 @@ class TenantStats:
             "requests": self.requests,
             "keys": self.keys,
             "errors": self.errors,
+            "pruned_keys": self.pruned_keys,
             "completed": self.latencies.count,
             "p50_seconds": self.p50(),
             "p99_seconds": self.p99(),
@@ -119,6 +124,10 @@ class ServeStats:
         #: Requests that ran out of deadline budget in the tier (queued
         #: past expiry, or the store call outlived their deadline).
         self.deadline_expired = 0
+        #: Keys the store's negative filters pruned before shard
+        #: dispatch, summed over every coalesced store call (zero for
+        #: monolithic stores and filter-disabled sharded stores).
+        self.keys_pruned = 0
         #: Requests currently queued in the forming batch.
         self.queue_depth = 0
         #: High-water mark of ``queue_depth``.
@@ -176,6 +185,38 @@ class ServeStats:
             self.deadline_expired += 1
             record.errors += 1
 
+    def record_pruned(self, n_pruned: int,
+                      contributions: Dict[str, int]) -> None:
+        """Credit ``n_pruned`` filter-pruned keys to the batch's tenants.
+
+        The store counts pruning per coalesced (cross-tenant, deduped)
+        batch, not per request, so per-tenant attribution is pro-rata by
+        the keys each tenant contributed, with the remainder going to
+        the largest contributor (deterministic; ties break by name).
+        Exact for single-tenant batches; a fair approximation when
+        tenants share a batch or batches overlap in flight.
+        """
+        if n_pruned <= 0 or not contributions:
+            return
+        total = sum(contributions.values())
+        with self._lock:
+            self.keys_pruned += n_pruned
+            if total <= 0:
+                return
+            assigned = 0
+            for name, keys in contributions.items():
+                record = self.tenants.get(name)
+                if record is None:
+                    record = TenantStats(self._latency_window)
+                    self.tenants[name] = record
+                share = (n_pruned * keys) // total
+                record.pruned_keys += share
+                assigned += share
+            if assigned < n_pruned:
+                biggest = max(contributions,
+                              key=lambda name: (contributions[name], name))
+                self.tenants[biggest].pruned_keys += n_pruned - assigned
+
     def record_wakeup(self) -> None:
         with self._lock:
             self.timer_wakeups += 1
@@ -214,6 +255,9 @@ class ServeStats:
                                    if self.batches_formed else 0.0),
                 "dedup_ratio": (self.keys_coalesced / self.unique_keys
                                 if self.unique_keys else 0.0),
+                "keys_pruned": self.keys_pruned,
+                "prune_rate": (self.keys_pruned / self.unique_keys
+                               if self.unique_keys else 0.0),
                 "timer_wakeups": self.timer_wakeups,
                 "batch_fallbacks": self.batch_fallbacks,
                 "rejected": self.rejected,

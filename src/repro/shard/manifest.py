@@ -12,8 +12,10 @@ A saved store is a directory::
 ``manifest.json`` is deliberately human-readable JSON: it carries the
 router state (strategy + cut points / seed), the key and value schema with
 NumPy dtype strings, and a per-shard table of file name / row count / byte
-size.  Everything needed to route a query is in the manifest, so a loader
-can open shards lazily or on remote storage without unpickling them first.
+size plus an optional compact negative filter (the miss-pruning tier,
+``core/negative_filter.py``).  Everything needed to route a query — and to
+reject most miss keys outright — is in the manifest, so a loader can open
+shards lazily or on remote storage without unpickling them first.
 """
 
 from __future__ import annotations
@@ -44,15 +46,24 @@ class ShardEntry:
     file: Optional[str]
     n_rows: int = 0
     n_bytes: int = 0
+    #: Per-shard negative filter (``NegativeFilter.to_json()`` dict) —
+    #: the manifest-level miss-pruning tier.  ``None`` for empty shards,
+    #: stores saved with the filter knob off, and manifests written
+    #: before the tier existed (loaders treat absence as "never prune").
+    #: Budget: <= 2 bytes per shard key (see ``docs/sharding.md``).
+    filter: Optional[Dict[str, object]] = None
 
     def to_json(self) -> Dict[str, object]:
-        return {"file": self.file, "n_rows": self.n_rows,
-                "n_bytes": self.n_bytes}
+        obj: Dict[str, object] = {"file": self.file, "n_rows": self.n_rows,
+                                  "n_bytes": self.n_bytes}
+        if self.filter is not None:
+            obj["filter"] = self.filter
+        return obj
 
     @classmethod
     def from_json(cls, obj: Dict[str, object]) -> "ShardEntry":
         return cls(file=obj["file"], n_rows=int(obj["n_rows"]),
-                   n_bytes=int(obj["n_bytes"]))
+                   n_bytes=int(obj["n_bytes"]), filter=obj.get("filter"))
 
 
 @dataclass
@@ -72,13 +83,20 @@ class ShardManifest:
     #: the maintenance engine).  Empty for unmanaged stores; absent in
     #: manifests written before the lifecycle subsystem existed.
     lifecycle: Dict[str, object] = field(default_factory=dict)
+    #: Store-level negative filter over the union of every shard's key
+    #: set (``NegativeFilter.to_json()`` dict) — tier 1 of the pruning
+    #: pass, probed for every batch key *before* any routing.  ``None``
+    #: for stores saved with the filter knob off and for manifests
+    #: written before the store-level tier existed (loaders then fall
+    #: back to the routed per-shard filters, or never prune).
+    store_filter: Optional[Dict[str, object]] = None
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        obj = {
             "format": FORMAT,
             "version": VERSION,
             "router": self.router,
@@ -89,6 +107,9 @@ class ShardManifest:
             "sharding": dict(self.sharding),
             "lifecycle": dict(self.lifecycle),
         }
+        if self.store_filter is not None:
+            obj["store_filter"] = self.store_filter
+        return obj
 
     @classmethod
     def from_json(cls, obj: Dict[str, object]) -> "ShardManifest":
@@ -106,6 +127,7 @@ class ShardManifest:
             shards=[ShardEntry.from_json(e) for e in obj["shards"]],
             sharding=dict(obj.get("sharding", {})),
             lifecycle=dict(obj.get("lifecycle", {})),
+            store_filter=obj.get("store_filter"),
         )
 
     # ------------------------------------------------------------------

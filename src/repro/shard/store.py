@@ -9,11 +9,16 @@ the CLI, the bench harness — work over it transparently.
 
 Batched lookups run through a pipelined, vectorized read path:
 
-1. **route + sort** — the :mod:`~repro.shard.router` assigns every query
-   key a shard ordinal with NumPy array arithmetic, and one sort puts
-   the batch in (shard, key) order: shard groups come out contiguous
-   *and* pre-sorted, so no downstream stage (notably the aux partition
-   probe) ever sorts again;
+1. **route + prune + sort** — the :mod:`~repro.shard.router` assigns
+   every query key a shard ordinal with NumPy array arithmetic; when the
+   store carries per-shard
+   :class:`~repro.core.negative_filter.NegativeFilter`\\ s (built at fit
+   time, persisted in the manifest), keys the owning shard's filter
+   rejects go straight to the miss output — no sort slot, no job, no
+   dispatch (the filter never false-negatives, so pruning is lossless);
+   then one sort puts the *surviving* batch in (shard, key) order: shard
+   groups come out contiguous *and* pre-sorted, so no downstream stage
+   (notably the aux partition probe) ever sorts again;
 2. **staged fan out** — each owning shard runs a
    :class:`~repro.core.deep_mapping.LookupPlan` (existence gate,
    ``T_aux`` probe, aux-gated fused inference through its
@@ -69,6 +74,9 @@ from ..core.config import DeepMappingConfig
 from ..core.deep_mapping import (DeepMapping, KeysLike, LookupResult,
                                  RowsLike, SizeReport, normalize_keys,
                                  normalize_rows)
+from ..core.negative_filter import (FilterBank, NegativeFilter,
+                                    build_store_filter, filter_from_json,
+                                    hash_key_columns)
 from ..data.table import ColumnTable
 from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
 from ..resilience.deadline import Deadline
@@ -83,6 +91,38 @@ from .manifest import CONFIG_NAME, ShardEntry, ShardManifest
 from .router import RangeShardRouter, ShardRouter, make_router, router_from_state
 
 __all__ = ["ShardedDeepMapping", "ShardingConfig"]
+
+#: The decode code every per-shard encoder maps a miss to — pruned keys
+#: must carry the same vocab[0] filler a dispatched miss would get (see
+#: ``LookupPlan.execute_into`` in core/deep_mapping.py).
+_ZERO_CODE = np.zeros(1, dtype=np.int64)
+
+#: Filter sizing for the two pruning tiers, in bits per inserted key.
+#: The combined manifest growth must stay under 2 bytes/key after the
+#: base64 framing (see docs/sharding.md).  The store-level filter is
+#: the workhorse — it answers every batch key with zero routing work —
+#: so it gets most of the bit budget; the skinny per-shard filters only
+#: screen its survivors, where even a ~30% single-tier FPR compounds
+#: with the store tier's ~2% to a sub-percent combined pass rate.
+_STORE_FILTER_BITS = 8
+_SHARD_FILTER_BITS = 3
+
+#: Fan-outs dispatching at most this many keys run inline instead of
+#: through the executor: at that size the thread hand-off costs more
+#: than the shard work itself (pruned batches especially — the handful
+#: of false-positive survivors is existence-checked without inference).
+_SERIAL_DISPATCH_MAX = 4096
+
+#: Hit-heavy batches lose money on pruning (the full-batch probe plus
+#: survivor compaction outweigh the few skipped dispatches), so batches
+#: above ``_PRUNE_SAMPLE_MIN_N`` first probe a ``_PRUNE_SAMPLE``-key
+#: stride sample and skip the prune pass entirely unless the sampled
+#: prunable fraction clears ``_PRUNE_MIN_FRACTION``.  Results are
+#: bit-identical either way — pruning only moves *where* a miss's
+#: filler gets written.
+_PRUNE_SAMPLE = 4096
+_PRUNE_SAMPLE_MIN_N = 16384
+_PRUNE_MIN_FRACTION = 0.55
 
 
 @dataclass
@@ -120,6 +160,16 @@ class ShardingConfig:
     #: shards' results stay bit-identical.  Overridable per call via
     #: ``lookup(..., on_shard_error=...)``.
     on_shard_error: str = "raise"
+    #: Manifest-level miss pruning: build a compact per-shard
+    #: :class:`~repro.core.negative_filter.NegativeFilter` (blocked
+    #: Bloom, guaranteed no false negatives) at fit time, keep it in
+    #: step through inserts and lifecycle split/merge, and persist it in
+    #: the shard manifest (<= 2 bytes/key).  The lookup fan-out consults
+    #: the filters before any (shard, key) sort or job submission, so
+    #: miss keys skip dispatch entirely; results stay bit-identical
+    #: either way.  ``False`` disables building (and, on load, ignores
+    #: persisted filters).
+    negative_filter: bool = True
 
     def __post_init__(self):
         if self.n_shards < 1:
@@ -172,16 +222,49 @@ class ShardedDeepMapping:
         stats: Optional[StoreStats] = None,
         pool: Optional[BufferPool] = None,
         executor: Optional[ExecutorStrategy] = None,
+        filters: Optional[List[Optional[NegativeFilter]]] = None,
+        store_filter: Optional[NegativeFilter] = None,
     ):
         if len(shards) != router.n_shards:
             raise ValueError(
                 f"router expects {router.n_shards} shards, got {len(shards)}"
             )
-        #: Router and shard list live in ONE tuple so lifecycle actions
-        #: (split/merge) can swap both with a single atomic attribute
-        #: store; readers snapshot the pair once per operation.
-        self._topology: Tuple[ShardRouter, List[Optional[DeepMapping]]] = (
-            router, list(shards))
+        if filters is None:
+            filters = [None] * router.n_shards
+        if len(filters) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} filters, got {len(filters)}"
+            )
+        #: Router, shard list and per-shard negative filters live in ONE
+        #: tuple so lifecycle actions (split/merge) can swap all three
+        #: with a single atomic attribute store; readers snapshot the
+        #: triple once per operation (a filter must never be consulted
+        #: against a shard from a different topology generation).
+        self._topology: Tuple[ShardRouter, List[Optional[DeepMapping]],
+                              List[Optional[NegativeFilter]]] = (
+            router, list(shards), list(filters))
+        #: Lazily built ``(filters_list, FilterBank)`` pair backing the
+        #: one-gather prune pass; keyed by the filters list's identity
+        #: (every topology swap installs a fresh list) and reset
+        #: explicitly by the in-place mutators (``insert``,
+        #: :meth:`refresh_filter`).
+        self._filter_bank: Optional[
+            Tuple[List[Optional[NegativeFilter]], FilterBank]] = None
+        #: Tier-1 pruning filter over the union of every shard's keys.
+        #: Since key->shard placement is a pure function of the key, "in
+        #: no shard" and "not in the owning shard" are the same
+        #: predicate — so this filter prunes without routing anything.
+        #: Kept outside the topology triple: splits/merges/retrains
+        #: preserve the key union, so it survives them unchanged, and
+        #: deletes only ever leave it a stale superset (never a false
+        #: negative) until :meth:`refresh_store_filter`.
+        self._store_filter = store_filter
+        #: Cached per-topology fill/dtype metadata for the prune fast
+        #: lane (see :meth:`_prune_meta`); keyed by the shard list's
+        #: identity and reset by the in-place mutators, which can grow a
+        #: shard's value vocabulary (and with it the vocab[0] filler)
+        #: without swapping the list.
+        self._prune_meta_cache = None
         self.config = config
         self.sharding = sharding
         self.stats = stats if stats is not None else StoreStats()
@@ -268,11 +351,28 @@ class ShardedDeepMapping:
                                  sharding.effective_workers())
         shards = executor.map(build_one, range(sharding.n_shards))
 
+        # One hash pass over the whole table seeds the store-level
+        # filter and every shard's filter (empty shards need none:
+        # absence prunes).
+        filters: List[Optional[NegativeFilter]] = [None] * sharding.n_shards
+        store_filter: Optional[NegativeFilter] = None
+        if sharding.negative_filter:
+            with stats.timing("filter_build"):
+                hashes = hash_key_columns(key_cols, router.key_names)
+                store_filter = build_store_filter(
+                    hashes, bits_per_key=_STORE_FILTER_BITS)
+                for ordinal in range(sharding.n_shards):
+                    if shards[ordinal] is not None:
+                        filters[ordinal] = NegativeFilter.build(
+                            hashes[shard_ids == ordinal],
+                            bits_per_key=_SHARD_FILTER_BITS)
+
         # No compile_engines() here: DeepMapping.fit already leaves each
         # shard holding its freshly compiled engine.
         return cls(router, shards, config, sharding,
                    value_names=value_names, value_dtypes=value_dtypes,
-                   stats=stats, pool=pool, executor=executor)
+                   stats=stats, pool=pool, executor=executor,
+                   filters=filters, store_filter=store_filter)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -287,14 +387,28 @@ class ShardedDeepMapping:
         """The live shard list (swapped atomically with the router)."""
         return self._topology[1]
 
-    def _swap_topology(self, router: ShardRouter,
-                       shards: List[Optional[DeepMapping]]) -> None:
-        """Install a new (router, shards) pair in one atomic store."""
+    @property
+    def filters(self) -> List[Optional[NegativeFilter]]:
+        """Per-shard negative filters (swapped atomically with the
+        router); ``None`` entries mean "never prune this shard"."""
+        return self._topology[2]
+
+    def _swap_topology(
+        self,
+        router: ShardRouter,
+        shards: List[Optional[DeepMapping]],
+        filters: List[Optional[NegativeFilter]],
+    ) -> None:
+        """Install a new (router, shards, filters) triple atomically."""
         if len(shards) != router.n_shards:
             raise ValueError(
                 f"router expects {router.n_shards} shards, got {len(shards)}"
             )
-        self._topology = (router, list(shards))
+        if len(filters) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} filters, got {len(filters)}"
+            )
+        self._topology = (router, list(shards), list(filters))
         # Keep the recorded knob in step so save/load round-trips the
         # post-rebalance shard count.
         self.sharding.n_shards = router.n_shards
@@ -407,13 +521,14 @@ class ShardedDeepMapping:
                 f"on_shard_error must be 'raise' or 'partial', got {mode!r}")
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
-        # One topology snapshot for the whole batch: route, fan-out and
-        # merge all see the same (router, shards) pair, so a lifecycle
-        # swap between the route and index steps can never mispair cuts
-        # with ordinals.  This does NOT license concurrent mutation —
-        # the single-writer contract stands (a retired shard's dropped
-        # aux storage is not safe to read through).
-        router, shards = self._topology
+        # One topology snapshot for the whole batch: route, prune,
+        # fan-out and merge all see the same (router, shards, filters)
+        # triple, so a lifecycle swap between the route and index steps
+        # can never mispair cuts (or filters) with ordinals.  This does
+        # NOT license concurrent mutation — the single-writer contract
+        # stands (a retired shard's dropped aux storage is not safe to
+        # read through).
+        router, shards, filters = self._topology
         if n == 0:
             return LookupResult(
                 found=np.zeros(0, dtype=bool),
@@ -435,8 +550,39 @@ class ShardedDeepMapping:
             # regardless of mode — documented in docs/resilience.md.
             return self.lookup_barrier(key_cols)
 
+        # Manifest-tier miss pruning: consult the store-level and
+        # per-shard negative filters before any (shard, key) sort or job
+        # submission.  A pruned key is a guaranteed miss (neither tier
+        # ever false-negatives); only the survivors pay sort + dispatch.
+        idx = fill_plan = pre_dtypes = None
+        if self._store_filter is not None \
+                or any(f is not None for f in filters):
+            with self.stats.timing("prune"):
+                idx, fill_plan, pre_dtypes = self._prune(
+                    router, shards, filters, key_cols, n)
+
+        if idx is not None and int(idx.size) == 0:
+            # Every key pruned (typical for an all-miss batch under the
+            # exact dense filter): build the outputs directly — there is
+            # nothing to route, sort, or dispatch.
+            self.stats.bump("pruned_keys", n)
+            return self._all_pruned_result(router, shards, fill_plan,
+                                           pre_dtypes, n)
+
         with self.stats.timing("route"):
-            order, bounds, grouped = self._sorted_route(router, key_cols, n)
+            if idx is None:
+                # Nothing pruned (or no filters): the historical path,
+                # including the single-sort range fast lane.
+                order, bounds, grouped = self._sorted_route(
+                    router, key_cols, n)
+            else:
+                self.stats.bump("pruned_keys", n - int(idx.size))
+                survivors = {name: np.asarray(arr)[idx]
+                             for name, arr in key_cols.items()}
+                order, bounds, grouped = self._sorted_route(
+                    router, survivors, int(idx.size))
+                # Destinations live in the ORIGINAL batch positions.
+                order = idx[order]
 
         # (ordinal, shard, segment, dest) per non-empty routed group.
         jobs: List[Tuple[int, DeepMapping, Dict[str, np.ndarray],
@@ -461,14 +607,57 @@ class ShardedDeepMapping:
                     shard.fdecode.encoders[c].vocab.dtype)
             segment = {name: arr[start:stop] for name, arr in grouped.items()}
             jobs.append((ordinal, shard, segment, order[start:stop]))
+        if pre_dtypes is not None:
+            # Promotion must reflect PRE-prune occupancy: a group the
+            # filters emptied entirely still contributed its dtype in
+            # the unpruned path, and results are bit-identical only if
+            # the output dtypes match too.
+            segment_dtypes = pre_dtypes
 
+        # A dispatched miss gets the owning shard's vocab[0] decode
+        # filler written by execute_into; a pruned key must read
+        # identically.  _prune picked the cheapest write plan:
+        #
+        # - "paint": every shard shares one filler, and most of the batch
+        #   was pruned — allocate the output already holding the filler
+        #   (one np.full instead of zeros + fancy assignment; survivors
+        #   are overwritten by execute_into with found values or that
+        #   same filler).
+        # - "assign": shared filler, minority pruned — scalar broadcast
+        #   into the pruned positions.
+        # - "gather": fillers differ by shard (or shards are missing) —
+        #   one filler-by-shard table per column, then a single fancy
+        #   assignment.  Rows for EMPTY shards are the dtype zero /
+        #   None, which is exactly the placeholder those keys read in
+        #   the unpruned path.
+        paint = fill_plan is not None and fill_plan[0] == "paint"
         found_out = np.zeros(n, dtype=bool)
         values_out = {}
         for c in self.value_names:
             dtype = (np.result_type(*segment_dtypes[c])
                      if segment_dtypes[c] else self._placeholder(c, 0).dtype)
-            values_out[c] = (np.full(n, None, dtype=object)
-                             if dtype == object else np.zeros(n, dtype=dtype))
+            if paint:
+                values_out[c] = np.full(n, fill_plan[1][c], dtype=dtype)
+            elif dtype == object:
+                values_out[c] = np.full(n, None, dtype=object)
+            else:
+                values_out[c] = np.zeros(n, dtype=dtype)
+        if fill_plan is not None and fill_plan[0] == "assign":
+            _, pruned_pos, col_fillers = fill_plan
+            for c in self.value_names:
+                values_out[c][pruned_pos] = col_fillers[c]
+        elif fill_plan is not None and fill_plan[0] == "gather":
+            _, pruned_pos, pruned_ids = fill_plan
+            for c in self.value_names:
+                out = values_out[c]
+                fillers = np.zeros(router.n_shards, dtype=out.dtype) \
+                    if out.dtype != object \
+                    else np.full(router.n_shards, None, dtype=object)
+                for ordinal, shard in enumerate(shards):
+                    if shard is not None:
+                        fillers[ordinal] = \
+                            shard.fdecode.encoders[c].decode(_ZERO_CODE)[0]
+                out[pruned_pos] = fillers[pruned_ids]
 
         def run_job(job) -> None:
             ordinal, shard, segment, dest = job
@@ -479,7 +668,12 @@ class ShardedDeepMapping:
 
         shard_errors: Dict[int, BaseException] = {}
         stragglers = False  # a timed-out job may still be running
-        if len(jobs) <= 1:
+        if len(jobs) <= 1 or (deadline is None
+                              and int(order.size) <= _SERIAL_DISPATCH_MAX):
+            # Tiny dispatches (often: a heavily pruned batch) run their
+            # jobs inline — thread hand-off costs more than the work.
+            # Deadline-bounded calls keep the executor lane so a
+            # straggling shard can be timed out rather than waited on.
             for job in jobs:
                 try:
                     run_job(job)
@@ -556,6 +750,225 @@ class ShardedDeepMapping:
         return PartialResult(found=found_out, values=values_out,
                              failed_mask=failed, shard_errors=shard_errors)
 
+    def _prune(
+        self,
+        router: ShardRouter,
+        shards: List[Optional[DeepMapping]],
+        filters: List[Optional[NegativeFilter]],
+        key_cols: Dict[str, np.ndarray],
+        n: int,
+    ):
+        """Negative-filter pass over the batch, before sort/dispatch.
+
+        Two tiers.  Tier 1 is the **store-level** filter over the union
+        of every shard's keys, probed with *zero routing* — key→shard
+        placement is a pure function of the key, so "in no shard" is
+        exactly "not in the owning shard".  Tier 2 is the skinny
+        per-shard filters, which only screen tier-1 survivors (a few
+        percent of an all-miss batch), so their routed gather runs over
+        a tiny index set.  On an all-hit batch tier 1 answers "maybe"
+        everywhere and the whole pass is one unrouted probe.
+
+        Returns ``(idx, fill_plan, dtypes)``:
+
+        - ``idx`` — positions surviving the filters, or ``None`` when no
+          key was pruned (the caller then runs the exact historical
+          path, including the single-sort range fast lane);
+        - ``fill_plan`` — ``("paint", fillers)``, ``("assign",
+          pruned_pos, fillers)`` or ``("gather", pruned_pos,
+          pruned_ids)`` telling the caller the cheapest way to make
+          pruned keys read exactly like dispatched misses (see the fill
+          block in :meth:`lookup`);
+        - ``dtypes`` — per-column dtype promotion lists computed from
+          **pre-prune** shard occupancy, so output dtypes match the
+          unpruned path even when the filters empty a group entirely.
+
+        The scalar lanes ("paint"/"assign") require every shard live
+        with one shared miss filler and vocab dtype per column
+        (:meth:`_prune_meta`); then promotion is occupancy-invariant and
+        no pre-prune routing is needed at all.  Otherwise the general
+        lane routes the full batch and combines both tiers into one
+        mask; keys owned by empty shards can be pruned by tier 1 there
+        (the "gather" fill table hands them the same placeholder the
+        dispatch loop's skip would have).
+        """
+        hashes = hash_key_columns(key_cols, self.key_names)
+        store_filter = self._store_filter
+        if store_filter is not None:
+            meta = self._prune_meta(shards)
+            if meta["scalar_ok"]:
+                if n > _PRUNE_SAMPLE_MIN_N:
+                    # Cheap strided sample decides whether the batch is
+                    # miss-heavy enough for the full pass to pay off.
+                    sample = np.ascontiguousarray(
+                        hashes[::n // _PRUNE_SAMPLE])
+                    frac = 1.0 - float(
+                        store_filter.might_contain(sample).mean())
+                    if frac < _PRUNE_MIN_FRACTION:
+                        return None, None, None
+                maybe = store_filter.might_contain(hashes)
+                if maybe.all():
+                    return None, None, None
+                idx = np.flatnonzero(maybe)
+                if n - int(idx.size) < _PRUNE_MIN_FRACTION * n:
+                    # Not miss-heavy enough for compaction to pay for
+                    # itself (small batches skip the sample gate and
+                    # land here; the probe itself was cheap).
+                    return None, None, None
+                if not store_filter.exact:
+                    idx = self._screen_survivors(
+                        router, filters, key_cols, hashes, idx)
+                pre = {c: [meta["dtype"][c]] for c in self.value_names}
+                if n - int(idx.size) > n // 2:
+                    return idx, ("paint", meta["filler"]), pre
+                keep = np.zeros(n, dtype=bool)
+                keep[idx] = True
+                return idx, ("assign", np.flatnonzero(~keep),
+                             meta["filler"]), pre
+
+        shard_ids = router.route(key_cols)
+        maybe = None
+        if store_filter is not None:
+            maybe = store_filter.might_contain(hashes)
+        if any(f is not None for f in filters):
+            bank = self._bank_for(filters)
+            if bank.uniform:
+                # The common case: every filter shares one k, so the
+                # whole batch is answered by a single routed gather.
+                tier2 = bank.might_contain(shard_ids, hashes)
+            else:
+                tier2 = np.ones(n, dtype=bool)
+                for ordinal, filt in enumerate(filters):
+                    if filt is None:
+                        continue
+                    mask = shard_ids == ordinal
+                    tier2[mask] = filt.might_contain(hashes[mask])
+            maybe = tier2 if maybe is None else (maybe & tier2)
+        if maybe is None or maybe.all():
+            return None, None, None
+
+        pruned_pos = np.flatnonzero(~maybe)
+        pruned_ids = shard_ids[pruned_pos]
+        counts = np.bincount(shard_ids, minlength=router.n_shards)
+        dtypes: Dict[str, List[np.dtype]] = \
+            {c: [] for c in self.value_names}
+        for ordinal in range(router.n_shards):
+            if not counts[ordinal]:
+                continue
+            shard = shards[ordinal]
+            if shard is None:
+                for c in self.value_names:
+                    dtypes[c].append(self._placeholder(c, 0).dtype)
+                continue
+            for c in self.value_names:
+                dtypes[c].append(shard.fdecode.encoders[c].vocab.dtype)
+        return (np.flatnonzero(maybe),
+                ("gather", pruned_pos, pruned_ids), dtypes)
+
+    def _screen_survivors(
+        self,
+        router: ShardRouter,
+        filters: List[Optional[NegativeFilter]],
+        key_cols: Dict[str, np.ndarray],
+        hashes: np.ndarray,
+        idx: np.ndarray,
+    ) -> np.ndarray:
+        """Tier-2 pass: route only the tier-1 survivors and drop the
+        ones their owning shard's filter also rejects."""
+        if int(idx.size) == 0 or not any(f is not None for f in filters):
+            return idx
+        surv_cols = {name: np.asarray(arr)[idx]
+                     for name, arr in key_cols.items()}
+        shard_ids = router.route(surv_cols)
+        surv_hashes = hashes[idx]
+        bank = self._bank_for(filters)
+        if bank.uniform:
+            keep = bank.might_contain(shard_ids, surv_hashes)
+        else:
+            keep = np.ones(int(idx.size), dtype=bool)
+            for ordinal, filt in enumerate(filters):
+                if filt is None:
+                    continue
+                mask = shard_ids == ordinal
+                keep[mask] = filt.might_contain(surv_hashes[mask])
+        return idx[keep]
+
+    def _prune_meta(self, shards: List[Optional[DeepMapping]]):
+        """Cached per-topology facts gating the scalar prune lanes.
+
+        ``scalar_ok`` is True when every shard is live and, per value
+        column, all shards share one vocab dtype and one miss filler
+        (``vocab[0]``) — then a pruned key's fill is a scalar broadcast
+        and dtype promotion is independent of which shards a batch
+        touches.  Keyed by the shard *list's identity*: lifecycle swaps
+        build a new list, while in-place mutations (insert / update /
+        rebuild) invalidate the cache explicitly.
+        """
+        cached = self._prune_meta_cache
+        if cached is not None and cached[0] is shards:
+            return cached[1]
+        scalar_ok = bool(shards) and all(s is not None for s in shards)
+        filler: Dict[str, object] = {}
+        dtype: Dict[str, np.dtype] = {}
+        if scalar_ok:
+            for c in self.value_names:
+                dts = [s.fdecode.encoders[c].vocab.dtype for s in shards]
+                vals = [s.fdecode.encoders[c].decode(_ZERO_CODE)[0]
+                        for s in shards]
+                if any(dt != dts[0] for dt in dts[1:]) \
+                        or any(v != vals[0] for v in vals[1:]):
+                    scalar_ok = False
+                    break
+                dtype[c] = dts[0]
+                filler[c] = vals[0]
+        meta = {"scalar_ok": scalar_ok, "filler": filler, "dtype": dtype}
+        self._prune_meta_cache = (shards, meta)
+        return meta
+
+    def _all_pruned_result(self, router, shards, fill_plan, pre_dtypes,
+                           n: int) -> LookupResult:
+        """The lookup result when the filters pruned the *whole* batch:
+        all misses, every value a fill — bit-identical to what the
+        dispatch path produces with zero jobs, minus the route/sort."""
+        values_out = {}
+        for c in self.value_names:
+            dtype = (np.result_type(*pre_dtypes[c]) if pre_dtypes[c]
+                     else self._placeholder(c, 0).dtype)
+            if fill_plan[0] == "paint" or fill_plan[0] == "assign":
+                fillers = (fill_plan[1] if fill_plan[0] == "paint"
+                           else fill_plan[2])
+                values_out[c] = np.full(n, fillers[c], dtype=dtype)
+            else:  # gather
+                _, pruned_pos, pruned_ids = fill_plan
+                out = (np.full(n, None, dtype=object) if dtype == object
+                       else np.zeros(n, dtype=dtype))
+                table = np.zeros(router.n_shards, dtype=dtype) \
+                    if dtype != object \
+                    else np.full(router.n_shards, None, dtype=object)
+                for ordinal, shard in enumerate(shards):
+                    if shard is not None:
+                        table[ordinal] = \
+                            shard.fdecode.encoders[c].decode(_ZERO_CODE)[0]
+                out[pruned_pos] = table[pruned_ids]
+                values_out[c] = out
+        return LookupResult(found=np.zeros(n, dtype=bool),
+                            values=values_out)
+
+    def _bank_for(self, filters: List[Optional[NegativeFilter]],
+                  ) -> FilterBank:
+        """The (cached) :class:`FilterBank` for one filters snapshot.
+
+        Concurrent readers may race to build the first bank for a fresh
+        topology; both build the same pure function of ``filters`` and
+        the last store wins, so the race is benign.
+        """
+        cached = self._filter_bank
+        if cached is not None and cached[0] is filters:
+            return cached[1]
+        bank = FilterBank(filters)
+        self._filter_bank = (filters, bank)
+        return bank
+
     def _sorted_route(
         self, router: ShardRouter, key_cols: Dict[str, np.ndarray], n: int,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
@@ -608,7 +1021,9 @@ class ShardedDeepMapping:
         """
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
-        router, shards = self._topology
+        # Reference path: deliberately unpruned (filters ignored), so
+        # the parity suite can hold it against the filtered fan-out.
+        router, shards, _ = self._topology
         if n == 0:
             return LookupResult(
                 found=np.zeros(0, dtype=bool),
@@ -669,7 +1084,7 @@ class ShardedDeepMapping:
         shard are absent by definition."""
         key_cols = self._normalize_keys(keys)
         n = int(np.asarray(key_cols[self.key_names[0]]).size)
-        router, shards = self._topology
+        router, shards, _ = self._topology
         if n == 0:
             return np.zeros(0, dtype=bool)
         with self.stats.timing("route"):
@@ -725,6 +1140,13 @@ class ShardedDeepMapping:
 
         live = [shard for shard in self.shards if shard is not None]
         self._map_jobs(rebuild_one, live)
+        # A retrain preserves the keyset, so the filters were still
+        # correct supersets — but rebuilding them here drops the false
+        # positives accumulated by deletes since the last build.
+        for ordinal in range(self.n_shards):
+            self.refresh_filter(ordinal)
+        self.refresh_store_filter()
+        self._prune_meta_cache = None
 
     def lookup_async(self, keys: KeysLike, *,
                      deadline: Optional[Deadline] = None,
@@ -815,6 +1237,13 @@ class ShardedDeepMapping:
             raise ValueError(f"{already} key(s) already exist; use update()")
 
         landed = 0
+        filters = self.filters
+        key_hashes = None
+        if self.sharding.negative_filter or self._store_filter is not None \
+                or any(f is not None for f in filters):
+            key_hashes = hash_key_columns(
+                {name: columns[name] for name in self.key_names},
+                self.key_names)
         for ordinal, rows_idx in groups:
             subset = {name: arr[rows_idx] for name, arr in columns.items()}
             shard = self.shards[ordinal]
@@ -827,14 +1256,44 @@ class ShardedDeepMapping:
                 )
                 self._register_shard(fresh)
                 self.shards[ordinal] = fresh
+                if self.sharding.negative_filter and key_hashes is not None:
+                    filters[ordinal] = NegativeFilter.build(
+                        key_hashes[rows_idx],
+                        bits_per_key=_SHARD_FILTER_BITS)
                 landed += len(fresh.aux)
             else:
                 landed += shard.insert(subset)
+                # Grow the filter only after the shard accepted the rows
+                # (an insert that raises must not poison the filter with
+                # phantom positives beyond the superset guarantee).
+                if filters[ordinal] is not None and key_hashes is not None:
+                    filters[ordinal].add(key_hashes[rows_idx])
+        # The store-level filter grows with every insert regardless of
+        # which shard landed the rows — its keyset is the union.  A
+        # dense filter can decline keys outside its built domain; the
+        # rows have already landed in their shards, so a full rebuild
+        # from shard content re-covers them (widening the domain or
+        # falling back to Bloom as build_store_filter sees fit).
+        if self._store_filter is not None and key_hashes is not None \
+                and not self._store_filter.try_add(key_hashes):
+            self.refresh_store_filter()
+        # Fresh shards and in-place filter growth both invalidate the
+        # cached probe bank (it snapshots the filters' words); a fresh
+        # shard (or new vocab) also invalidates the prune fast-lane meta.
+        self._filter_bank = None
+        self._prune_meta_cache = None
         self._maintain()
         return landed
 
     def delete(self, keys: KeysLike) -> int:
-        """Delete keys from their owning shards; absent keys are ignored."""
+        """Delete keys from their owning shards; absent keys are ignored.
+
+        Negative filters are deliberately left untouched: a Bloom filter
+        cannot clear bits, so a deleted key survives as a false positive
+        (one wasted dispatch the shard's existence tier rejects) until
+        the next filter rebuild — the superset invariant, never a false
+        negative.
+        """
         self._require_writable()
         key_cols = self._normalize_keys(keys)
         deleted = 0
@@ -872,6 +1331,9 @@ class ShardedDeepMapping:
         for ordinal, rows_idx in groups:
             landed += self.shards[ordinal].update(
                 {name: arr[rows_idx] for name, arr in columns.items()})
+        # Updates can grow a shard's value vocab (new fill values), which
+        # the prune fast lane snapshots — drop the cached meta.
+        self._prune_meta_cache = None
         self._maintain()
         return landed
 
@@ -929,6 +1391,55 @@ class ShardedDeepMapping:
         prefix = _aux_prefix(self._prefix_seq)
         self._prefix_seq += 1
         return prefix
+
+    def refresh_filter(self, ordinal: int) -> None:
+        """Rebuild shard ``ordinal``'s negative filter from its live keys.
+
+        Keyset-preserving retrains never *require* this (the filter
+        stays a correct superset), but deleted keys accumulate as false
+        positives until a rebuild — so the lifecycle engine calls this
+        after each retrain and :meth:`rebuild` calls it for every shard,
+        resetting the filter's FPR along with the model.  No-op when the
+        filter knob is off (a legacy-loaded store keeps its ``None``
+        filters rather than growing new ones behind the caller's back).
+        Runs under the single-writer mutation contract.
+        """
+        if not self.sharding.negative_filter:
+            return
+        shard = self.shards[ordinal]
+        self.filters[ordinal] = (None if shard is None
+                                 else self._build_filter(shard))
+        self._filter_bank = None  # in-place filter swap: bank is stale
+
+    def _build_filter(self, shard: DeepMapping) -> NegativeFilter:
+        """A fresh negative filter over one shard's live keys."""
+        key_cols = shard.key_codec.unflatten(shard.exist.existing_keys())
+        return NegativeFilter.build(
+            hash_key_columns(key_cols, self.key_names),
+            bits_per_key=_SHARD_FILTER_BITS)
+
+    def refresh_store_filter(self) -> None:
+        """Rebuild the store-level (tier-1) filter from all live keys.
+
+        Splits, merges, and retrains preserve the key *union*, so the
+        store filter normally survives topology changes untouched; like
+        the per-shard tier, it only accumulates false positives through
+        deletes.  :meth:`rebuild` calls this to reset its FPR.  No-op
+        when the filter knob is off or the store never had a tier-1
+        filter (legacy load).
+        """
+        if not self.sharding.negative_filter or self._store_filter is None:
+            return
+        parts = []
+        for shard in self.shards:
+            if shard is None or not len(shard):
+                continue
+            key_cols = shard.key_codec.unflatten(shard.exist.existing_keys())
+            parts.append(hash_key_columns(key_cols, self.key_names))
+        hashes = (np.concatenate(parts) if parts
+                  else np.empty(0, dtype=np.uint64))
+        self._store_filter = build_store_filter(
+            hashes, bits_per_key=_STORE_FILTER_BITS)
 
     def _shard_leading_keys(self, shard: DeepMapping) -> np.ndarray:
         """Live leading-key values of one shard (no value inference)."""
@@ -1026,7 +1537,20 @@ class ShardedDeepMapping:
         new_router = router.split_at(ordinal, cut)
         new_shards = (self.shards[:ordinal] + [left, right]
                       + self.shards[ordinal + 1:])
-        self._swap_topology(new_router, new_shards)
+        # Fresh filters for the halves, built from the same row split
+        # the shards were, so they swap in with the topology they match.
+        left_filter = right_filter = None
+        if self.sharding.negative_filter:
+            hashes = hash_key_columns(
+                {name: np.asarray(table.column(name))
+                 for name in self.key_names}, self.key_names)
+            left_filter = NegativeFilter.build(
+                hashes[left_rows], bits_per_key=_SHARD_FILTER_BITS)
+            right_filter = NegativeFilter.build(
+                hashes[right_rows], bits_per_key=_SHARD_FILTER_BITS)
+        new_filters = (self.filters[:ordinal] + [left_filter, right_filter]
+                       + self.filters[ordinal + 1:])
+        self._swap_topology(new_router, new_shards, new_filters)
         shard.aux.drop_storage()
         return cut
 
@@ -1056,6 +1580,7 @@ class ShardedDeepMapping:
         tables = [s.to_table() for s in (first, second)
                   if s is not None and len(s)]
         merged: Optional[DeepMapping] = None
+        merged_filter: Optional[NegativeFilter] = None
         if tables:
             combined = tables[0] if len(tables) == 1 else tables[0].concat(
                 tables[1])
@@ -1067,11 +1592,18 @@ class ShardedDeepMapping:
                 aux_name_prefix=self._new_aux_prefix(),
             )
             self._register_shard(merged)
+            if self.sharding.negative_filter:
+                merged_filter = NegativeFilter.build(hash_key_columns(
+                    {name: np.asarray(combined.column(name))
+                     for name in self.key_names}, self.key_names),
+                    bits_per_key=_SHARD_FILTER_BITS)
 
         new_router = router.merge_at(ordinal)
         new_shards = (self.shards[:ordinal] + [merged]
                       + self.shards[ordinal + 2:])
-        self._swap_topology(new_router, new_shards)
+        new_filters = (self.filters[:ordinal] + [merged_filter]
+                       + self.filters[ordinal + 2:])
+        self._swap_topology(new_router, new_shards, new_filters)
         for retired in (first, second):
             if retired is not None:
                 retired.aux.drop_storage()
@@ -1121,6 +1653,7 @@ class ShardedDeepMapping:
     def _save_into(self, backend: StorageBackend) -> int:
         total = 0
         entries: List[ShardEntry] = []
+        filters = self.filters
         with self.stats.timing("io"):
             for ordinal, shard in enumerate(self.shards):
                 if shard is None:
@@ -1128,8 +1661,10 @@ class ShardedDeepMapping:
                     continue
                 fname = f"shard-{ordinal:04d}.dm"
                 nbytes = backend.write_bytes(fname, shard.to_payload())
-                entries.append(ShardEntry(file=fname, n_rows=len(shard),
-                                          n_bytes=nbytes))
+                filt = filters[ordinal]
+                entries.append(ShardEntry(
+                    file=fname, n_rows=len(shard), n_bytes=nbytes,
+                    filter=filt.to_json() if filt is not None else None))
                 total += nbytes
 
             config_payload = pickle.dumps(self.config,
@@ -1157,8 +1692,11 @@ class ShardedDeepMapping:
                 "executor": getattr(self.sharding.executor, "name",
                                     self.sharding.executor),
                 "on_shard_error": self.sharding.on_shard_error,
+                "negative_filter": self.sharding.negative_filter,
             },
             lifecycle=lifecycle,
+            store_filter=(self._store_filter.to_json()
+                          if self._store_filter is not None else None),
         )
         total += manifest.save_to(backend)
 
@@ -1184,6 +1722,7 @@ class ShardedDeepMapping:
         pool_budget_bytes: Optional[int] = None,
         executor: Union[str, ExecutorStrategy, None] = None,
         writable: bool = True,
+        negative_filter: Optional[bool] = None,
     ) -> "ShardedDeepMapping":
         """Inverse of :meth:`save`; ``target`` as there.
 
@@ -1192,6 +1731,10 @@ class ShardedDeepMapping:
         small one, or force serial fan-out).  All shards' auxiliary
         partitions share one
         :class:`~repro.storage.buffer_pool.BufferPool` under the budget.
+        ``negative_filter=False`` ignores any persisted per-shard
+        filters (and stops new ones being built) — the unpruned
+        baseline the parity suite and ``benchmarks/bench_prune.py``
+        compare against; ``None`` keeps the saved knob.
 
         ``writable=False`` opens every shard read-only through the
         process-wide payload cache: payload arrays are zero-copy views
@@ -1223,10 +1766,21 @@ class ShardedDeepMapping:
             lifecycle=(LifecycleConfig.from_state(lifecycle_state)
                        if lifecycle_state else None),
             on_shard_error=saved.get("on_shard_error", "raise"),
+            # Manifests written before the pruning tier default to True:
+            # they simply carry no filters (entries lack the field), so
+            # nothing prunes until a mutation/rebuild grows filters.
+            negative_filter=(negative_filter if negative_filter is not None
+                             else saved.get("negative_filter", True)),
         )
         stats = stats if stats is not None else StoreStats()
         pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,
                           stats=stats)
+        filters: List[Optional[NegativeFilter]] = [
+            (NegativeFilter.from_json(entry.filter)
+             if sharding.negative_filter and entry.filter is not None
+             else None)
+            for entry in manifest.shards
+        ]
         shards: List[Optional[DeepMapping]] = []
         for ordinal, entry in enumerate(manifest.shards):
             if entry.file is None:
@@ -1246,9 +1800,13 @@ class ShardedDeepMapping:
             ))
         value_dtypes = {name: np.dtype(spec)
                         for name, spec in manifest.value_dtypes.items()}
+        store_filter = (filter_from_json(manifest.store_filter)
+                        if sharding.negative_filter
+                        and manifest.store_filter is not None else None)
         store = cls(router, shards, config, sharding,
                     value_names=tuple(manifest.value_names),
-                    value_dtypes=value_dtypes, stats=stats, pool=pool)
+                    value_dtypes=value_dtypes, stats=stats, pool=pool,
+                    filters=filters, store_filter=store_filter)
         store.writable = writable
         if store.engine is not None and "counters" in manifest.lifecycle:
             store.engine.restore_counters(manifest.lifecycle["counters"])

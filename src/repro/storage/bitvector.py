@@ -57,6 +57,30 @@ class BitVector:
         vec.set_many(np.flatnonzero(arr))
         return vec
 
+    @classmethod
+    def wrap(cls, size: int, bits) -> "BitVector":
+        """Adopt an existing packed ``uint8`` buffer **without copying**.
+
+        The zero-copy payload loader hands the vector an mmap-backed
+        (read-only) or bytearray-backed (writable) buffer straight out
+        of the container.  A read-only buffer yields a read-only vector:
+        mutating calls raise, which is exactly the ``writable=False``
+        store contract.  The caller guarantees the tail bits beyond
+        ``size`` are zero (true for any buffer produced by this class).
+        """
+        arr = np.asarray(bits, dtype=np.uint8)
+        size = int(size)
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if arr.ndim != 1 or arr.size != (size + 7) // 8:
+            raise ValueError(
+                f"packed buffer of {arr.size} byte(s) does not match "
+                f"{size} bit(s)")
+        vec = cls.__new__(cls)
+        vec._size = size
+        vec._bits = arr
+        return vec
+
     # ------------------------------------------------------------------
     # Scalar access
     # ------------------------------------------------------------------
@@ -137,6 +161,12 @@ class BitVector:
     def nbytes(self) -> int:
         """Packed storage footprint in bytes (excluding Python overhead)."""
         return int(self._bits.nbytes)
+
+    @property
+    def packed(self) -> np.ndarray:
+        """The raw packed ``uint8`` buffer (shared with the vector, not a
+        copy) — what :meth:`wrap` accepts back."""
+        return self._bits
 
     def to_bytes(self) -> bytes:
         """Serialize to ``8-byte little-endian length + packed payload``."""
