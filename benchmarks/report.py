@@ -33,6 +33,8 @@ def _fmt(value, kind=""):
     if isinstance(value, float):
         if kind == "pct":
             return f"{value:+.2%}"
+        if kind == "pct_abs":
+            return f"{value:.1%}"
         if kind == "x":
             return f"{value:.2f}x"
         return f"{value:.3g}"
@@ -82,6 +84,15 @@ def _headline(name, data):
                 f">= {_fmt(acceptance.get('all_miss_target'), 'x')}; "
                 f">= {_fmt(acceptance.get('cold_open_target'), 'x')}",
                 f"{all_miss}; {cold} (all-miss vs monolithic {mono})")
+    if name == "remote":
+        skew = _fmt(acceptance.get("skew_fraction_measured"), "pct_abs")
+        warm = _fmt(acceptance.get("warm_ratio_measured"), "x")
+        cold = _fmt(data.get("cold_open", {}).get("fraction_of_store"),
+                    "pct_abs")
+        return ("skewed-workload download fraction; warm cached reopen",
+                f"<= {_fmt(acceptance.get('skew_fraction_limit'), 'pct_abs')}; "
+                f"<= {_fmt(acceptance.get('warm_ratio_limit'), 'x')}",
+                f"{skew}; {warm} (cold open {cold} of store)")
     return (acceptance.get("metric", "(acceptance)"),
             _fmt(acceptance.get("target")),
             _fmt(acceptance.get("measured")))

@@ -15,10 +15,14 @@ Two failure classes are deliberately *not* retried:
   cache layers (retry-*once* semantics in ``BlobCache``/``BufferPool``);
   retrying them here too would multiply the attempts.
 
-The capability helpers (``url`` / ``read_view`` / ``blob_version`` /
-``batch``) are forwarded only when the inner backend has them, so
-capability sniffing (``getattr``) sees the same surface as the inner
-backend.
+Every read *capability* gets the same treatment as the core reads:
+``read_view`` / ``blob_version`` / ``read_range`` / ``size`` are
+retried under the policy and breaker when the inner backend has them,
+while non-I/O capabilities (``batch`` / ``url`` / ``scheme`` /
+``remote`` / ``stats`` / ``bind_stats`` / ``writable``) are forwarded
+untouched — so capability sniffing (``getattr``) sees the same surface
+as the inner backend, and a remote-backed read-only open is resilient
+on every access path, not just ``read_bytes``.
 """
 
 from __future__ import annotations
@@ -71,15 +75,23 @@ class ResilientBackend:
     def delete(self, name: str) -> None:
         self.inner.delete(name)
 
+    #: Read capabilities retried (per call) under the policy + breaker.
+    _RETRIED_CAPS = ("read_view", "blob_version", "size")
+    #: Non-I/O capabilities forwarded verbatim from the inner backend.
+    _FORWARDED_CAPS = ("batch", "url", "scheme", "remote", "stats",
+                       "bind_stats", "writable")
+
     # -- capabilities, present iff the inner backend has them --------------
     def __getattr__(self, attr):
-        if attr in ("read_view", "blob_version", "batch", "url", "scheme"):
+        if attr in self._RETRIED_CAPS:
             inner_value = getattr(self.inner, attr)  # may raise Attribute
-            if attr == "read_view":
-                return lambda name: self._read(lambda: inner_value(name))
-            if attr == "blob_version":
-                return lambda name: self._read(lambda: inner_value(name))
-            return inner_value
+            return lambda name: self._read(lambda: inner_value(name))
+        if attr == "read_range":
+            inner_range = getattr(self.inner, attr)
+            return lambda name, start, length: self._read(
+                lambda: inner_range(name, start, length))
+        if attr in self._FORWARDED_CAPS:
+            return getattr(self.inner, attr)
         raise AttributeError(
             f"{type(self).__name__!r} object has no attribute {attr!r}")
 

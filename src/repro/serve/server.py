@@ -47,6 +47,11 @@ __all__ = ["LookupServer", "Client"]
 
 DEFAULT_TENANT = "default"
 
+#: Store-stats counters bracketed around each fused call to surface
+#: remote lazy-hydration activity in :class:`ServeStats` (all absent /
+#: zero-delta for local opens).
+_HYDRATION_KEYS = ("range_requests", "hydrated_bytes", "hydration_waits")
+
 
 class LookupServer:
     """Coalescing lookup service over one shared read store.
@@ -224,6 +229,9 @@ class LookupServer:
                            "counters", None)
         pruned_before = (counters.get("pruned_keys", 0)
                          if counters is not None else 0)
+        hydration_before = (tuple(counters.get(k, 0)
+                                  for k in _HYDRATION_KEYS)
+                            if counters is not None else None)
         try:
             # Coordinator lane: the store's executor runs the fused
             # batch off-loop; shard fan-out uses its separate worker
@@ -261,6 +269,9 @@ class LookupServer:
             self.stats.record_pruned(
                 counters.get("pruned_keys", 0) - pruned_before,
                 contributions)
+            self.stats.record_hydration(
+                *(counters.get(k, 0) - before
+                  for k, before in zip(_HYDRATION_KEYS, hydration_before)))
         now = self._loop.time()
         for request, (lo, hi) in zip(batch, slices):
             if request.future.done():

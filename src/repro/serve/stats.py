@@ -128,6 +128,14 @@ class ServeStats:
         #: dispatch, summed over every coalesced store call (zero for
         #: monolithic stores and filter-disabled sharded stores).
         self.keys_pruned = 0
+        #: Hydration telemetry mirrored from the store's stats counters
+        #: (remote-backed stores only; all zero for local opens):
+        #: ranged fetches issued, payload bytes that crossed the
+        #: network, and lookups that blocked on a shard another batch
+        #: was mid-way through hydrating.
+        self.range_requests = 0
+        self.hydrated_bytes = 0
+        self.hydration_waits = 0
         #: Requests currently queued in the forming batch.
         self.queue_depth = 0
         #: High-water mark of ``queue_depth``.
@@ -217,6 +225,18 @@ class ServeStats:
                               key=lambda name: (contributions[name], name))
                 self.tenants[biggest].pruned_keys += n_pruned - assigned
 
+    def record_hydration(self, range_requests: int, hydrated_bytes: int,
+                         hydration_waits: int) -> None:
+        """Accumulate one batch's hydration deltas (store-stats bracket,
+        like :meth:`record_pruned`; approximate under overlapping
+        batches, which is fine for telemetry)."""
+        if not (range_requests or hydrated_bytes or hydration_waits):
+            return
+        with self._lock:
+            self.range_requests += max(0, range_requests)
+            self.hydrated_bytes += max(0, hydrated_bytes)
+            self.hydration_waits += max(0, hydration_waits)
+
     def record_wakeup(self) -> None:
         with self._lock:
             self.timer_wakeups += 1
@@ -258,6 +278,11 @@ class ServeStats:
                 "keys_pruned": self.keys_pruned,
                 "prune_rate": (self.keys_pruned / self.unique_keys
                                if self.unique_keys else 0.0),
+                "hydration": {
+                    "range_requests": self.range_requests,
+                    "hydrated_bytes": self.hydrated_bytes,
+                    "hydration_waits": self.hydration_waits,
+                },
                 "timer_wakeups": self.timer_wakeups,
                 "batch_fallbacks": self.batch_fallbacks,
                 "rejected": self.rejected,

@@ -90,6 +90,16 @@ class ShardManifest:
     #: written before the store-level tier existed (loaders then fall
     #: back to the routed per-shard filters, or never prune).
     store_filter: Optional[Dict[str, object]] = None
+    #: Scalar prune-lane metadata captured at save time:
+    #: ``{"scalar_ok": true, "columns": {name: {"dtype": str,
+    #: "filler": scalar}}}``.  Lets a *hydrating* loader (remote
+    #: backends, ``storage/hydration.py``) run the store-filter fast
+    #: lane — including the all-pruned short circuit — without touching
+    #: a single shard payload to learn each column's vocab dtype and
+    #: miss filler.  ``None`` (or absent, in manifests written before
+    #: lazy hydration existed) simply means the first prune derives the
+    #: metadata from hydrated shards as always.
+    prune_meta: Optional[Dict[str, object]] = None
 
     @property
     def n_shards(self) -> int:
@@ -109,6 +119,8 @@ class ShardManifest:
         }
         if self.store_filter is not None:
             obj["store_filter"] = self.store_filter
+        if self.prune_meta is not None:
+            obj["prune_meta"] = self.prune_meta
         return obj
 
     @classmethod
@@ -128,6 +140,7 @@ class ShardManifest:
             sharding=dict(obj.get("sharding", {})),
             lifecycle=dict(obj.get("lifecycle", {})),
             store_filter=obj.get("store_filter"),
+            prune_meta=obj.get("prune_meta"),
         )
 
     # ------------------------------------------------------------------

@@ -85,6 +85,7 @@ from ..resilience.partial import PartialResult
 from ..storage.backends import StorageBackend, backend_for_url
 from ..storage.blob_cache import payload_cache
 from ..storage.buffer_pool import BufferPool
+from ..storage.hydration import LazyShard
 from ..storage.stats import StoreStats
 from ..store.executors import ExecutorStrategy, make_executor
 from .manifest import CONFIG_NAME, ShardEntry, ShardManifest
@@ -583,6 +584,21 @@ class ShardedDeepMapping:
                     router, survivors, int(idx.size))
                 # Destinations live in the ORIGINAL batch positions.
                 order = idx[order]
+
+        # Prefetch hint from the batch's per-shard histogram: fire
+        # hydration for every cold lazy shard this batch routes into
+        # *before* the dtype-promotion probe below (which touches shards
+        # serially) and before any plan job runs — remote downloads then
+        # overlap on the fan-out workers instead of serializing.  The
+        # proxy's hydrate lock makes the race with the main thread
+        # benign (one loader runs; the other waits and shares).
+        cold = [shards[ordinal] for ordinal in range(router.n_shards)
+                if bounds[ordinal + 1] > bounds[ordinal]
+                and isinstance(shards[ordinal], LazyShard)
+                and not shards[ordinal].hydrated]
+        if len(cold) > 1:
+            for proxy in cold:
+                submit_job(proxy.hydrate)
 
         # (ordinal, shard, segment, dest) per non-empty routed group.
         jobs: List[Tuple[int, DeepMapping, Dict[str, np.ndarray],
@@ -1697,6 +1713,7 @@ class ShardedDeepMapping:
             lifecycle=lifecycle,
             store_filter=(self._store_filter.to_json()
                           if self._store_filter is not None else None),
+            prune_meta=self._export_prune_meta(),
         )
         total += manifest.save_to(backend)
 
@@ -1712,6 +1729,54 @@ class ShardedDeepMapping:
         # read-only bundles for it at once.
         payload_cache().invalidate_backend(backend)
         return total
+
+    def _export_prune_meta(self) -> Optional[Dict[str, object]]:
+        """Manifest (JSON) form of the scalar prune-lane metadata.
+
+        Written at save time so a hydrating loader can run the
+        store-filter scalar fast lane — per-column vocab dtype and miss
+        filler — without downloading a single shard to rediscover them.
+        ``None`` when the scalar lanes do not apply (mixed dtypes or
+        fillers, empty shards) or a filler does not survive JSON.
+        """
+        meta = self._prune_meta(self.shards)
+        if not meta["scalar_ok"]:
+            return None
+        columns: Dict[str, object] = {}
+        for c in self.value_names:
+            filler = meta["filler"][c]
+            if isinstance(filler, np.generic):
+                filler = filler.item()
+            if not isinstance(filler, (bool, int, float, str)):
+                return None
+            columns[c] = {"dtype": meta["dtype"][c].str, "filler": filler}
+        return {"scalar_ok": True, "columns": columns}
+
+    @staticmethod
+    def _prime_prune_meta(store: "ShardedDeepMapping",
+                          manifest: ShardManifest) -> None:
+        """Install save-time prune metadata on a hydrating store.
+
+        Without this, the first lookup's :meth:`_prune_meta` pass would
+        touch every shard's decoder — hydrating the whole store to
+        answer an all-miss batch.  Metadata that is absent or does not
+        match the schema is simply ignored (the general prune lane
+        still works; it just hydrates the shards it routes into).
+        """
+        meta = manifest.prune_meta
+        if not meta or not meta.get("scalar_ok"):
+            return
+        columns = meta.get("columns") or {}
+        if set(columns) != set(store.value_names):
+            return
+        try:
+            dtype = {c: np.dtype(columns[c]["dtype"]) for c in columns}
+            filler = {c: dtype[c].type(columns[c]["filler"])
+                      for c in columns}
+        except (KeyError, TypeError, ValueError):
+            return
+        store._prune_meta_cache = (store.shards, {
+            "scalar_ok": True, "filler": filler, "dtype": dtype})
 
     @classmethod
     def load(
@@ -1744,9 +1809,20 @@ class ShardedDeepMapping:
         calls raise ``PermissionError``.  Cached shards keep the buffer
         pool of their *first* (cold) open, so ``pool_budget_bytes``
         overrides only apply to shards loaded cold.
+
+        Remote backends (``http://`` family — anything flagging
+        ``remote = True``) open **hydrating**: the load fetches only
+        the manifest and the build config, every shard comes up as a
+        :class:`~repro.storage.hydration.LazyShard` proxy that
+        downloads its payload on first routed touch, and ``writable``
+        is forced to ``False`` (the transport refuses writes anyway).
+        See ``docs/remote.md``.
         """
         backend = (backend_for_url(target, create=False)
                    if isinstance(target, str) else target)
+        hydrating = bool(getattr(backend, "remote", False))
+        if hydrating:
+            writable = False
         manifest = ShardManifest.load_from(backend)
         router = router_from_state(manifest.router)
         config: DeepMappingConfig = pickle.loads(
@@ -1773,6 +1849,12 @@ class ShardedDeepMapping:
                              else saved.get("negative_filter", True)),
         )
         stats = stats if stats is not None else StoreStats()
+        # Remote transports accumulate range/hydration counters; point
+        # them at this store's sink so `store.stats` (and the serving
+        # tier's snapshot bracket) sees them.
+        bind_stats = getattr(backend, "bind_stats", None)
+        if bind_stats is not None:
+            bind_stats(stats)
         pool = BufferPool(budget_bytes=sharding.pool_budget_bytes,
                           stats=stats)
         filters: List[Optional[NegativeFilter]] = [
@@ -1785,6 +1867,19 @@ class ShardedDeepMapping:
         for ordinal, entry in enumerate(manifest.shards):
             if entry.file is None:
                 shards.append(None)
+                continue
+            if hydrating:
+                # Nothing is fetched here: the proxy defers the shared
+                # open (a ranged container fetch through the payload
+                # cache, which also dedupes concurrent hydrations of
+                # the same blob) until a batch actually routes into
+                # this shard.
+                shards.append(LazyShard(
+                    functools.partial(
+                        DeepMapping._open_shared, backend, entry.file,
+                        stats=stats, pool=pool,
+                        aux_name_prefix=_aux_prefix(ordinal)),
+                    n_rows=entry.n_rows, stats=stats, label=entry.file))
                 continue
             if not writable:
                 shards.append(DeepMapping._open_shared(
@@ -1810,7 +1905,15 @@ class ShardedDeepMapping:
         store.writable = writable
         if store.engine is not None and "counters" in manifest.lifecycle:
             store.engine.restore_counters(manifest.lifecycle["counters"])
-        store.compile_engines()
+        if hydrating:
+            # Eager engine compilation would iterate (and download)
+            # every shard; hydrated shards come out of _open_shared
+            # with their compiled kernel already built.  Prime the
+            # prune fast lane from the manifest instead, so an
+            # all-miss batch is answered with zero shard fetches.
+            cls._prime_prune_meta(store, manifest)
+        else:
+            store.compile_engines()
         return store
 
     # ------------------------------------------------------------------

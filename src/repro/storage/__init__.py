@@ -23,6 +23,9 @@ from .codecs import (
     register_codec,
 )
 from .disk import DiskStore
+from .hydration import LazyShard, RangeReader
+from .remote import (CachedHttpBackend, HttpBackend,
+                     configure_hydration_cache, hydration_cache_root)
 from .partition import PartitionMeta, SortedPartitionStore
 from .serializer import (
     deserialize_block,
@@ -62,6 +65,12 @@ __all__ = [
     "get_codec",
     "available_codecs",
     "register_codec",
+    "HttpBackend",
+    "CachedHttpBackend",
+    "configure_hydration_cache",
+    "hydration_cache_root",
+    "RangeReader",
+    "LazyShard",
     "DiskStore",
     "PartitionMeta",
     "SortedPartitionStore",

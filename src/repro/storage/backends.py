@@ -20,8 +20,12 @@ Three implementations ship:
   semantics, no partial updates).
 
 URL scheme selects the backend: ``file://`` (or a bare path),
-``mem://``, ``zip://`` — see :func:`backend_for_url` and
-:func:`resolve_blob_url`.
+``mem://``, ``zip://`` — plus the remote read-only schemes ``http://``
+/ ``https://`` (range-read HTTP transport wrapped in a
+:class:`~repro.resilience.backend.ResilientBackend`) and
+``cached+http://`` / ``cached+https://`` (same, behind a local disk
+hydration cache) from :mod:`repro.storage.remote` — see
+:func:`backend_for_url` and :func:`resolve_blob_url`.
 """
 
 from __future__ import annotations
@@ -53,7 +57,9 @@ __all__ = [
 ]
 
 #: URL schemes the library accepts, in the order error messages list them.
-URL_SCHEMES = ("file", "mem", "zip")
+#: The ``http`` family is read-only (see ``storage/remote.py``).
+URL_SCHEMES = ("file", "mem", "zip", "http", "https",
+               "cached+http", "cached+https")
 
 #: Canonical blob name of a monolithic DeepMapping payload inside a
 #: container backend (``mem://`` / ``zip://`` targets have no file name of
@@ -131,6 +137,23 @@ class LocalDirBackend:
         try:
             with open(self._path(name), "rb") as handle:
                 return handle.read()
+        except FileNotFoundError:
+            raise StoreNotFoundError(
+                f"no blob named {name!r} in {self.url}") from None
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Bytes ``[start, start+length)`` of the blob (short at EOF).
+
+        The range-read capability the hydration layer
+        (``storage/hydration.py``) fetches container segments through;
+        on a local directory it is a plain seek+read.
+        """
+        if length <= 0:
+            return b""
+        try:
+            with open(self._path(name), "rb") as handle:
+                handle.seek(start)
+                return handle.read(length)
         except FileNotFoundError:
             raise StoreNotFoundError(
                 f"no blob named {name!r} in {self.url}") from None
@@ -295,6 +318,12 @@ class InMemoryBackend:
     def read_view(self, name: str) -> memoryview:
         """Read-only view of the stored bytes (already zero-copy)."""
         return memoryview(self.read_bytes(name))
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Bytes ``[start, start+length)`` of the blob (short at EOF)."""
+        if length <= 0:
+            return b""
+        return self.read_bytes(name)[start:start + length]
 
     def blob_version(self, name: str):
         """Write counter of blob ``name`` (None when absent)."""
@@ -581,6 +610,8 @@ def parse_url(url_or_path: str) -> Tuple[str, str]:
         raise ValueError(f"mem:// URL needs a store name: {url_or_path!r}")
     if scheme == "zip" and not path:
         raise ValueError(f"zip:// URL needs an archive path: {url_or_path!r}")
+    if scheme.endswith(("http", "https")) and not path:
+        raise ValueError(f"{scheme}:// URL needs a host: {url_or_path!r}")
     return scheme, path
 
 
@@ -595,6 +626,17 @@ def backend_for_url(url_or_path: str, create: bool = True) -> StorageBackend:
         return InMemoryBackend.named(path)
     if scheme == "zip":
         return ZipBackend(path)
+    if scheme in ("http", "https", "cached+http", "cached+https"):
+        # Imported here (not at module top) so the storage package does
+        # not pull the resilience wrapper into every import of this
+        # module; the network transport always rides behind the retry +
+        # breaker policy.
+        from ..resilience.backend import ResilientBackend
+        from .remote import CachedHttpBackend, HttpBackend
+        if scheme.startswith("cached+"):
+            base_url = f"{scheme[len('cached+'):]}://{path}"
+            return CachedHttpBackend(ResilientBackend(HttpBackend(base_url)))
+        return ResilientBackend(HttpBackend(f"{scheme}://{path}"))
     return LocalDirBackend(path, create=create)
 
 

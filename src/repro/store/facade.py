@@ -8,7 +8,11 @@ One store URL (or bare path) names any persisted store:
   (``manifest.json`` + per-shard payloads);
 - ``mem://name`` — a process-local in-memory container (tests, scratch);
 - ``zip:///data/store.zip`` — all blobs in one zip archive (the
-  object-store stand-in).
+  object-store stand-in);
+- ``http://host/store`` / ``https://...`` — a store published behind
+  any range-capable HTTP server, opened read-only with lazy shard
+  hydration; ``cached+http://`` adds a local disk cache tier so warm
+  reopens are pure local mmap (``docs/remote.md``).
 
 :func:`open_store` resolves the URL to a backend, sniffs whether it holds
 a sharded manifest or a monolithic payload (the auto-detection that used
@@ -119,7 +123,11 @@ def open_store(
         unchanged store skip deserialization entirely, and mutating
         calls (``insert`` / ``delete`` / ``update`` / ``rebuild``)
         raise ``PermissionError``.  The default keeps every component
-        private and mutable.
+        private and mutable.  Remote targets (``http://`` /
+        ``https://`` / ``cached+http://``) are *always* opened
+        read-only — the transport refuses writes — and sharded remote
+        opens hydrate shards lazily on first routed touch (see
+        ``docs/remote.md``).
     """
     from ..core.deep_mapping import DeepMapping
     from ..shard.store import ShardedDeepMapping
@@ -132,10 +140,13 @@ def open_store(
             writable=writable)
     if kind == "monolithic":
         try:
-            if writable:
+            if writable and not getattr(backend, "remote", False):
                 store = DeepMapping.from_payload(backend.read_bytes(blob),
                                                  stats=stats)
             else:
+                # Read-only request, or a remote backend (which cannot
+                # accept writes): share the deserialized bundle through
+                # the payload cache and keep the payload a view.
                 store = DeepMapping._open_shared(backend, blob, stats=stats)
         except StoreCorruptedError:
             # A recognized container that fails its checksums (or is

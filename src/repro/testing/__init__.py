@@ -17,6 +17,10 @@ get a saboteur:
 - :func:`break_shard` — swaps one shard of a
   :class:`~repro.shard.store.ShardedDeepMapping` for a failing or
   hanging proxy, the unit of fault for partial-result tests.
+- :func:`serve_backend` / :class:`RangeServer` — an in-process HTTP
+  range server over any local backend, with request accounting and
+  scripted fault/latency injection, so the remote read path
+  (``http://`` opens, lazy hydration) is testable without a network.
 
 These are test doubles, not mocks of the contract: everything they do
 not sabotage is delegated to the real object, so a chaos run still
@@ -25,5 +29,7 @@ exercises the production read path end to end.
 
 from .chaos import ChaosStore, break_shard
 from .faults import FaultInjectingBackend
+from .range_server import RangeServer, RequestRecord, serve_backend
 
-__all__ = ["ChaosStore", "FaultInjectingBackend", "break_shard"]
+__all__ = ["ChaosStore", "FaultInjectingBackend", "break_shard",
+           "RangeServer", "RequestRecord", "serve_backend"]

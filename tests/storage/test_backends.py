@@ -174,7 +174,8 @@ class TestZipBackend:
 
 class TestUrlResolution:
     def test_schemes_constant(self):
-        assert URL_SCHEMES == ("file", "mem", "zip")
+        assert URL_SCHEMES == ("file", "mem", "zip", "http", "https",
+                               "cached+http", "cached+https")
 
     @pytest.mark.parametrize("url,expected", [
         ("plain/path.dm", ("file", "plain/path.dm")),
