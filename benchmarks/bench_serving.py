@@ -41,8 +41,11 @@ import numpy as np
 import repro
 from repro.bench import format_table
 from repro.core import DeepMappingConfig
-from repro.serve import AdmissionPolicy, ServeStats
+from repro.resilience.hedging import HedgeController, HedgePolicy
+from repro.serve import (AdmissionPolicy, LoadShedder, QueueFullError,
+                         ServeStats, SheddingPolicy)
 from repro.shard import ShardedDeepMapping, ShardingConfig
+from repro.testing import break_shard
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -57,6 +60,38 @@ SMOKE_FLOOR = 1.0          # CI gate: coalesced must not lose to sequential
 #: number but p50s there are too small/noisy for a 3% gate.
 OVERHEAD_LIMIT_PCT = 3.0
 OVERHEAD_DEADLINE_MS = 30_000.0
+#: Interleaved plain/armed measurement pairs; each arm gates on its
+#: best-of-N p50 so runner drift cannot land on one arm only.  The
+#: per-run p50 is bimodal on small runners (batch-formation timing
+#: splits runs into a fast and a slow mode ~40% apart), so N must be
+#: large enough that both arms sample the fast mode.
+OVERHEAD_PAIRS = 10
+#: The overhead arms run a longer workload than the throughput levels:
+#: more batch waves per run average out the mode split, tightening the
+#: per-arm floor the gate compares.
+OVERHEAD_REQUESTS_PER_CLIENT = 24
+
+# --- overload / degradation gates (the ``--overload`` section) -------------
+#: Light tenants' p99 under a 2x flood (one tenant at 80% of offered
+#: load) vs the same light trickle uncontended.
+OVERLOAD_P99_FACTOR = 3.0
+#: Successfully served keys/s under the flood vs the tier's measured
+#: uncontended capacity — overload must degrade to shed work early, not
+#: collapse into wasted service.
+OVERLOAD_GOODPUT_FLOOR = 0.70
+#: Smoke runs keep structural gates (zero lost, light tenants served)
+#: but relax the timing-sensitive ones for small shared runners.
+OVERLOAD_SMOKE_P99_FACTOR = 6.0
+OVERLOAD_SMOKE_GOODPUT_FLOOR = 0.50
+#: Hedged reads: chaos-slowed shard's p99 vs the healthy p99 with
+#: hedging on, and the healthy-path hedge rate bound.  Smoke stores are
+#: tiny, so the fixed rescue cost (hedge delay + one retry) dwarfs the
+#: per-shard work the ratio is meant to amortize against — smoke keeps
+#: the structural checks (hedged beats unhedged, rate bound) but
+#: relaxes the ratio.
+HEDGE_TAIL_FACTOR = 2.0
+HEDGE_SMOKE_TAIL_FACTOR = 4.0
+HEDGE_RATE_LIMIT = 0.10
 
 
 def bench_config(smoke: bool) -> DeepMappingConfig:
@@ -193,6 +228,315 @@ def run_coalesced(store, workload, policy, deadline_ms=None):
     }
 
 
+# ---------------------------------------------------------------------------
+# Overload / graceful degradation (--overload)
+# ---------------------------------------------------------------------------
+def _request_maker(table, keys_per_request: int, seed: int):
+    """Seeded factory of mixed hit/miss requests (thread-confined rng)."""
+    rng = np.random.default_rng(seed)
+    key_name = table.key[0]
+    live = np.asarray(table.column(key_name), dtype=np.int64)
+    lo, hi = int(live.min()), int(live.max())
+
+    def one_request():
+        n_live = int(keys_per_request * 0.6)
+        keys = np.concatenate([
+            rng.choice(live, size=n_live, replace=True),
+            rng.integers(lo, hi + (hi - lo) // 2,
+                         size=keys_per_request - n_live, dtype=np.int64),
+        ])
+        return {key_name: keys}
+
+    return one_request
+
+
+def _run_light_tenants(client, table, duration_s: float, pace_s: float,
+                       keys_per_request: int, seed: int, n_tenants: int = 4):
+    """Closed-loop light tenants, paced, retrying typed sheds with the
+    server's retry-after hint.  Returns per-success latencies (seconds,
+    final attempt only) and the count of requests that never got through.
+    """
+    latencies = []
+    failures = [0]
+    served_keys = [0]
+    lock = threading.Lock()
+
+    def drive(index):
+        make = _request_maker(table, keys_per_request, seed + index)
+        tenant = f"light-{index}"
+        deadline = time.perf_counter() + duration_s
+        mine = []
+        while time.perf_counter() < deadline:
+            query = make()
+            for _attempt in range(50):
+                t0 = time.perf_counter()
+                try:
+                    client.lookup(query, tenant=tenant)
+                except QueueFullError as exc:
+                    time.sleep(getattr(exc, "retry_after_s", None) or 0.005)
+                    continue
+                mine.append(time.perf_counter() - t0)
+                break
+            else:
+                with lock:
+                    failures[0] += 1
+            time.sleep(pace_s)
+        with lock:
+            latencies.extend(mine)
+            served_keys[0] += len(mine) * keys_per_request
+
+    threads = [threading.Thread(target=drive, args=(i,), daemon=True)
+               for i in range(n_tenants)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "light tenant thread hung"
+    return latencies, failures[0], served_keys[0]
+
+
+def run_overload(store, table, smoke: bool):
+    """The degradation-ladder scenario: 2x offered load, 80% from one
+    flooding tenant, light tenants trickling alongside.
+
+    Three measured phases: (1) a saturating closed-loop probe pins the
+    tier's uncontended capacity, (2) the light trickle alone pins the
+    uncontended light p99, (3) the flood phase offers 2x capacity —
+    80% open-loop from tenant ``flood``, the rest the same light
+    trickle — through a quota + shedder policy.  A final wave is
+    submitted and immediately drained to prove zero admitted work is
+    lost to shutdown.
+    """
+    keys_per_request = 16
+    flood_keys = 64
+    duration_s = 2.0 if smoke else 5.0
+    policy = AdmissionPolicy(max_batch_keys=4096, max_delay_ms=2.0,
+                             tenant_quota_keys=4096)
+
+    # Phase 1: capacity probe (8 unpaced closed-loop clients).
+    probe_workload = build_workload(table, 8, 4 if smoke else 10,
+                                    keys_per_request, seed=7_001)
+    probe = run_coalesced(store, probe_workload, policy)
+    capacity_kps = probe["keys_per_second"]
+
+    # Phase 2: light trickle alone — the uncontended baseline.
+    light_pace = keys_per_request / max(capacity_kps * 0.05, 1.0)
+    with repro.serving(store, policy=policy, stats=ServeStats()) as client:
+        baseline_lat, baseline_failures, _ = _run_light_tenants(
+            client, table, duration_s, light_pace, keys_per_request,
+            seed=7_100)
+    assert baseline_failures == 0, "light tenants failed uncontended"
+    p99_uncontended_ms = float(np.percentile(baseline_lat, 99)) * 1e3
+
+    # Phase 3: the flood.  Offered load = 2x capacity; the flooding
+    # tenant submits 80% of it open-loop.
+    shedder = LoadShedder(SheddingPolicy(target_delay_ms=20.0,
+                                         hard_delay_ms=200.0,
+                                         min_observations=1))
+    stats = ServeStats()
+    client = repro.serving(store, policy=policy, stats=stats,
+                           shedder=shedder)
+    flood_futures = []
+    flood_interval = flood_keys / (2.0 * capacity_kps * 0.8)
+    stop_flood = threading.Event()
+
+    def flood():
+        make = _request_maker(table, flood_keys, seed=7_200)
+        while not stop_flood.is_set():
+            flood_futures.append(client.submit(make(), tenant="flood"))
+            time.sleep(flood_interval)
+
+    flooder = threading.Thread(target=flood, daemon=True)
+    phase_start = time.perf_counter()
+    flooder.start()
+    light_lat, light_failures, light_served_keys = _run_light_tenants(
+        client, table, duration_s, light_pace, keys_per_request, seed=7_300)
+    stop_flood.set()
+    flooder.join(timeout=60)
+
+    flood_served = flood_shed = flood_errors = 0
+    for future in flood_futures:
+        try:
+            future.result(timeout=60)
+            flood_served += 1
+        except QueueFullError:
+            flood_shed += 1
+        except Exception:
+            flood_errors += 1
+    phase_seconds = time.perf_counter() - phase_start
+    served_kps = (flood_served * flood_keys + light_served_keys) \
+        / phase_seconds
+    goodput_ratio = served_kps / capacity_kps
+    p99_flooded_ms = float(np.percentile(light_lat, 99)) * 1e3 \
+        if light_lat else float("inf")
+    p99_factor = p99_flooded_ms / max(p99_uncontended_ms, 1e-9)
+
+    # Phase 4: drain under fire — a final wave, then drain(); every
+    # admitted request must settle (served or typed-shed), none lost.
+    make = _request_maker(table, flood_keys, seed=7_400)
+    wave = [client.submit(make(), tenant="flood") for _ in range(16)]
+    drain_report = client.drain(timeout=120)
+    lost = 0
+    for future in wave:
+        try:
+            future.result(timeout=60)
+        except QueueFullError:
+            pass
+        except Exception:
+            lost += 1
+    snap = stats.snapshot()
+
+    p99_limit = OVERLOAD_SMOKE_P99_FACTOR if smoke else OVERLOAD_P99_FACTOR
+    goodput_floor = OVERLOAD_SMOKE_GOODPUT_FLOOR if smoke \
+        else OVERLOAD_GOODPUT_FLOOR
+    return {
+        "duration_s": duration_s,
+        "capacity_keys_per_second": capacity_kps,
+        "offered_multiple": 2.0,
+        "flood_share": 0.8,
+        "light_p99_ms_uncontended": p99_uncontended_ms,
+        "light_p99_ms_flooded": p99_flooded_ms,
+        "light_p99_factor": p99_factor,
+        "light_p99_factor_limit": p99_limit,
+        "light_failures": light_failures,
+        "flood_requests": len(flood_futures),
+        "flood_served": flood_served,
+        "flood_shed": flood_shed,
+        "flood_errors": flood_errors,
+        "served_keys_per_second": served_kps,
+        "goodput_ratio": goodput_ratio,
+        "goodput_floor": goodput_floor,
+        "drain_report": drain_report,
+        "drain_wave": len(wave),
+        "drain_lost": lost,
+        "stats": {"shed": snap["shed"], "rejected": snap["rejected"],
+                  "max_queue_depth": snap["max_queue_depth"]},
+        "passed": (light_failures == 0
+                   and lost == 0
+                   and flood_errors == 0
+                   and p99_factor <= p99_limit
+                   and goodput_ratio >= goodput_floor),
+    }
+
+
+def run_hedging(rows: int, smoke: bool):
+    """Hedged-read tail bound: a chaos-stalled shard must not set the
+    p99, and a healthy store must hedge (essentially) never.
+
+    The chaos is *transient stalls* — every ``stall_every``-th lookup,
+    shard 1's next attempt dawdles ``delay_s`` while a retry of the
+    same work is fast (cold cache, GC pause, a dropped packet).  That
+    is exactly the fault class hedging addresses: a *persistently*
+    slow shard delays backups just as much and needs replication or
+    shard rebuild instead (see ``docs/resilience.md``).
+    """
+    from repro.data import synthetic
+
+    table = synthetic.single_column(rows, "high", seed=13, domain_factor=2.0)
+    store = ShardedDeepMapping.fit(
+        table, bench_config(smoke),
+        ShardingConfig(n_shards=4, max_workers=4, hedged_reads=True))
+    # A snappier hedge trigger than the library default: the bench's
+    # per-shard attempts are milliseconds, so waiting 4x the median
+    # before hedging would itself dominate the rescued tail.  Requests
+    # are large (4096 keys) for the same reason — a rescue costs
+    # roughly one hedge delay plus one retry, which must amortize
+    # against real per-shard work for the p99 gate to measure the
+    # mechanism rather than fixed scheduling overhead.  Phases are long
+    # enough that the chaos p99 interpolates over several rescues
+    # instead of riding on the single worst one.
+    # max_fraction=0.5 gives a 4-shard batch two backup slots: with the
+    # default budget of one, a jitter hedge on a merely-slowish healthy
+    # ordinal can steal the batch's only slot and leave the genuinely
+    # stalled shard unrescued for the full injected delay.
+    hedge_policy = HedgePolicy(delay_factor=1.3, min_delay_ms=1.0,
+                               max_fraction=0.5)
+    hedger = HedgeController(hedge_policy)
+    store.hedger = hedger
+    make = _request_maker(table, 4096, seed=17)
+    n_lookups = 40 if smoke else 150
+    tail_limit = HEDGE_SMOKE_TAIL_FACTOR if smoke else HEDGE_TAIL_FACTOR
+    delay_s = 0.1
+    stall_every = 5  # 20% of lookups hit a stalled shard attempt
+
+    def timed_phase(inject: bool):
+        latencies = []
+        for index in range(n_lookups):
+            query = make()
+            restore = None
+            if inject and index % stall_every == 0:
+                restore = break_shard(store, 1, delay_s=delay_s,
+                                      slow_first=1)
+            try:
+                t0 = time.perf_counter()
+                store.lookup(query)
+                latencies.append(time.perf_counter() - t0)
+            finally:
+                if restore is not None:
+                    restore()
+                    # A won hedge returns the batch early but the
+                    # stalled attempt keeps sleeping on its pool worker
+                    # for the rest of ``delay_s``.  Back-to-back
+                    # lookups here are microseconds apart — far denser
+                    # than real traffic — so without this gap a few
+                    # injections strand every worker behind retiring
+                    # stragglers and starve healthy batches.
+                    time.sleep(delay_s * 1.1)
+        return latencies
+
+    def launched():
+        return store.stats.counters.get("hedges_launched", 0)
+
+    # The healthy baseline *brackets* the chaos phases: ambient
+    # scheduler noise on a shared runner drifts over seconds, and a
+    # spike that lands only inside the chaos window would otherwise be
+    # misread as a hedging regression.  Pooling a before- and an
+    # after-phase exposes the denominator to the same conditions as the
+    # numerator, and doubles the sample count behind the p99.
+    store.lookup(make())  # warm pools/engines outside the timers
+    before_first = launched()
+    healthy_latencies = timed_phase(inject=False)
+    healthy_launched = launched() - before_first
+
+    # Chaos, hedging OFF: every stalled attempt sets its batch's tail.
+    store.hedger = None
+    p99_unhedged_ms = float(np.percentile(
+        timed_phase(inject=True), 99)) * 1e3
+
+    # Same chaos, hedging ON: backups reclaim the tail.
+    store.hedger = hedger
+    p99_hedged_ms = float(np.percentile(
+        timed_phase(inject=True), 99)) * 1e3
+    chaos_launched = launched()
+    chaos_won = store.stats.counters.get("hedges_won", 0)
+
+    before_second = launched()
+    healthy_latencies += timed_phase(inject=False)
+    healthy_launched += launched() - before_second
+    p99_healthy_ms = float(np.percentile(healthy_latencies, 99)) * 1e3
+    hedge_rate = healthy_launched / (2 * n_lookups * 4)
+    store.close()
+
+    return {
+        "rows": rows,
+        "lookups_per_phase": n_lookups,
+        "injected_delay_ms": delay_s * 1e3,
+        "stall_every": stall_every,
+        "p99_ms_healthy": p99_healthy_ms,
+        "p99_ms_chaos_unhedged": p99_unhedged_ms,
+        "p99_ms_chaos_hedged": p99_hedged_ms,
+        "tail_factor": p99_hedged_ms / max(p99_healthy_ms, 1e-9),
+        "tail_factor_limit": tail_limit,
+        "healthy_hedge_rate": hedge_rate,
+        "hedge_rate_limit": HEDGE_RATE_LIMIT,
+        "hedges_launched_total": chaos_launched,
+        "hedges_won_total": chaos_won,
+        "passed": (p99_hedged_ms <= tail_limit * p99_healthy_ms
+                   and p99_hedged_ms < p99_unhedged_ms
+                   and hedge_rate < HEDGE_RATE_LIMIT),
+    }
+
+
 def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
                           keys_per_request: int, levels, smoke: bool):
     table, store = build_store(rows, shards, smoke)
@@ -214,13 +558,32 @@ def run_serving_benchmark(rows: int, shards: int, requests_per_client: int,
     # per-request baseline at any concurrency level.
     speedup = top["requests_per_second"] / baseline["requests_per_second"]
 
-    # Resilience overhead: the same top-level run, back to back, plain
-    # vs with a generous per-request deadline armed.  Fresh plain run so
-    # both sides are equally warm.
+    # Resilience overhead: the same top-level run, plain vs with a
+    # generous per-request deadline armed.  The arms are interleaved
+    # and each takes its best-of-N p50 (timeit-style): a single A/B
+    # pair puts any drift on a shared runner — page-cache state, CPU
+    # frequency, a neighbour's burst — entirely on one arm, which on
+    # this gate's 3% budget reads as a regression that isn't there.
+    # The per-arm minimum estimates the noise-free cost of each path.
     n_top = top["clients"]
-    plain = run_coalesced(store, workload[:n_top], policy)
-    armed = run_coalesced(store, workload[:n_top], policy,
-                          deadline_ms=OVERHEAD_DEADLINE_MS)
+    overhead_workload = build_workload(
+        table, n_top, OVERHEAD_REQUESTS_PER_CLIENT, keys_per_request,
+        seed=20240809)
+    plain_runs, armed_runs = [], []
+    for pair in range(OVERHEAD_PAIRS):
+        # ABBA ordering: the second run of a pair inherits a hotter
+        # runner than the first, so a fixed order would tax one arm.
+        first_is_plain = pair % 2 == 0
+        for arm_is_plain in (first_is_plain, not first_is_plain):
+            if arm_is_plain:
+                plain_runs.append(
+                    run_coalesced(store, overhead_workload, policy))
+            else:
+                armed_runs.append(
+                    run_coalesced(store, overhead_workload, policy,
+                                  deadline_ms=OVERHEAD_DEADLINE_MS))
+    plain = min(plain_runs, key=lambda run: run["p50_ms"])
+    armed = min(armed_runs, key=lambda run: run["p50_ms"])
     overhead_pct = (armed["p50_ms"] - plain["p50_ms"]) \
         / plain["p50_ms"] * 100.0
     overhead = {
@@ -308,6 +671,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small CI config (results not tracked)")
+    parser.add_argument("--overload", action="store_true",
+                        help="also run the overload/degradation and "
+                             "hedged-read sections (and gate on them)")
     parser.add_argument("--rows", type=int, default=None)
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--requests-per-client", type=int, default=None)
@@ -333,10 +699,76 @@ def main() -> int:
         requests_per_client=args.requests_per_client,
         keys_per_request=args.keys_per_request,
         levels=levels, smoke=args.smoke)
+
+    if args.overload:
+        table, store = build_store(args.rows, args.shards, args.smoke)
+        try:
+            report["overload"] = run_overload(store, table, args.smoke)
+        finally:
+            try:
+                store.close()
+            except RuntimeError:
+                pass  # drained by the scenario
+        report["hedging"] = run_hedging(min(args.rows, 20_000), args.smoke)
+        overload, hedging = report["overload"], report["hedging"]
+        print(format_table(
+            ["scenario", "p99 ms", "vs baseline", "goodput", "lost"],
+            [["light tenants, uncontended",
+              f"{overload['light_p99_ms_uncontended']:.2f}", "1.00x",
+              "-", "-"],
+             ["light tenants, 2x flood",
+              f"{overload['light_p99_ms_flooded']:.2f}",
+              f"{overload['light_p99_factor']:.2f}x",
+              f"{overload['goodput_ratio']:.2f}",
+              overload["drain_lost"]]],
+            title=(f"Overload degradation (flood {overload['flood_served']}"
+                   f" served / {overload['flood_shed']} shed / "
+                   f"{overload['flood_requests']} offered)")))
+        print(format_table(
+            ["phase", "p99 ms", "hedge rate"],
+            [["healthy", f"{hedging['p99_ms_healthy']:.2f}",
+              f"{hedging['healthy_hedge_rate']:.3f}"],
+             ["chaos, unhedged", f"{hedging['p99_ms_chaos_unhedged']:.2f}",
+              "-"],
+             ["chaos, hedged", f"{hedging['p99_ms_chaos_hedged']:.2f}",
+              f"won {hedging['hedges_won_total']}"]],
+            title=(f"Hedged reads (shard 1 stalls "
+                   f"{hedging['injected_delay_ms']:.0f} ms every "
+                   f"{hedging['stall_every']}th lookup)")))
+        if not args.smoke:
+            report["acceptance"]["passed"] = (
+                report["acceptance"]["passed"]
+                and overload["passed"] and hedging["passed"])
+
     write_json(report, out_path)
 
     speedup = report["acceptance"]["measured"]
     ratio = report["acceptance"]["coalesce_ratio"]
+    if args.overload:
+        overload, hedging = report["overload"], report["hedging"]
+        if not overload["passed"]:
+            print(f"OVERLOAD GATE FAILED: light p99 "
+                  f"{overload['light_p99_factor']:.2f}x uncontended (limit "
+                  f"{overload['light_p99_factor_limit']:.1f}x), goodput "
+                  f"{overload['goodput_ratio']:.2f} (floor "
+                  f"{overload['goodput_floor']:.2f}), "
+                  f"{overload['drain_lost']} lost in drain, "
+                  f"{overload['light_failures']} light failures, "
+                  f"{overload['flood_errors']} untyped flood errors")
+            return 1
+        if not hedging["passed"]:
+            print(f"HEDGING GATE FAILED: chaos p99 "
+                  f"{hedging['p99_ms_chaos_hedged']:.2f} ms vs healthy "
+                  f"{hedging['p99_ms_healthy']:.2f} ms (limit "
+                  f"{hedging['tail_factor_limit']:.1f}x), healthy hedge "
+                  f"rate {hedging['healthy_hedge_rate']:.3f} (limit "
+                  f"{hedging['hedge_rate_limit']:.2f})")
+            return 1
+        print(f"overload gate: light p99 "
+              f"{overload['light_p99_factor']:.2f}x uncontended, goodput "
+              f"{overload['goodput_ratio']:.2f}, zero lost across drain; "
+              f"hedged chaos p99 {hedging['tail_factor']:.2f}x healthy, "
+              f"healthy hedge rate {hedging['healthy_hedge_rate']:.3f}")
     if args.smoke:
         # CI regression gate: coalesced serving must at least match the
         # sequential baseline and genuinely coalesce, even on small

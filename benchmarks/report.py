@@ -71,6 +71,16 @@ def _headline(name, data):
         if overhead.get("p50_overhead_pct") is not None:
             measured += (f"; deadline p50 "
                          f"{overhead['p50_overhead_pct']:+.1f}%")
+        overload = data.get("overload", {})
+        if overload.get("goodput_ratio") is not None:
+            measured += (f"; flood: light p99 "
+                         f"{_fmt(overload.get('light_p99_factor'), 'x')} "
+                         f"goodput {_fmt(overload.get('goodput_ratio'))} "
+                         f"lost {overload.get('drain_lost', '?')}")
+        hedging = data.get("hedging", {})
+        if hedging.get("tail_factor") is not None:
+            measured += (f"; hedged tail "
+                         f"{_fmt(hedging.get('tail_factor'), 'x')}")
         return (f"coalesced vs sequential lookups, "
                 f"{acceptance.get('clients', '?')} clients",
                 f">= {_fmt(acceptance.get('target'), 'x')}",

@@ -238,22 +238,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import AdmissionPolicy, run_forever
+    from .serve import AdmissionPolicy, LoadShedder, SheddingPolicy, \
+        run_forever
 
     # Read-only open: the server shares the process-wide payload cache
     # and can never mutate the store it serves.
     dm = _load_structure(args.path, writable=False, executor=args.executor)
     policy = AdmissionPolicy(max_batch_keys=args.max_batch_keys,
-                             max_delay_ms=args.max_delay_ms)
+                             max_delay_ms=args.max_delay_ms,
+                             max_queue_requests=args.max_queue_requests,
+                             tenant_quota_keys=args.tenant_quota_keys)
+    shedder = None
+    if args.shed_target_ms is not None:
+        shedder = LoadShedder(SheddingPolicy(
+            target_delay_ms=args.shed_target_ms,
+            hard_delay_ms=max(args.shed_hard_ms, args.shed_target_ms)))
 
     def ready(port: int) -> None:
         print(f"serving {args.path} on {args.host}:{port} "
               f"(max_batch_keys={policy.max_batch_keys}, "
-              f"max_delay_ms={policy.max_delay_ms:g}); Ctrl-C stops",
-              flush=True)
+              f"max_delay_ms={policy.max_delay_ms:g}); "
+              f"SIGTERM/Ctrl-C drains and exits", flush=True)
 
+    # run_forever drains on SIGTERM/SIGINT: admission stops, every
+    # admitted request completes, then we fall out and exit 0.
     run_forever(dm, host=args.host, port=args.port, policy=policy,
-                on_ready=ready)
+                shedder=shedder, on_ready=ready)
     dm.close()
     return 0
 
@@ -356,6 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
                          help="max queueing delay before a partial batch "
                               "flushes")
+    p_serve.add_argument("--max-queue-requests", type=int, default=None,
+                         help="hard back-pressure bound on queued requests "
+                              "(default: unbounded)")
+    p_serve.add_argument("--tenant-quota-keys", type=int, default=None,
+                         help="per-tenant fair-admission quota on queued "
+                              "keys, scaled by tenant weight (default: off)")
+    p_serve.add_argument("--shed-target-ms", type=float, default=None,
+                         help="enable adaptive load shedding: estimated "
+                              "backlog delay past which over-share work is "
+                              "shed with a retry-after hint")
+    p_serve.add_argument("--shed-hard-ms", type=float, default=100.0,
+                         help="backlog delay past which ALL new work is shed "
+                              "(with --shed-target-ms)")
     p_serve.add_argument("--executor", default=None,
                          choices=list(EXECUTOR_NAMES),
                          help="store fan-out executor strategy")

@@ -13,6 +13,7 @@ from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .deadline import DEFAULT_TIMEOUT_S, Deadline, default_timeout
 from .errors import (CircuitOpenError, DeadlineExceeded, PartialResultError,
                      ResilienceError, StoreCorruptedError, StoreNotFoundError)
+from .hedging import HedgeController, HedgePolicy
 from .retry import RetryPolicy, retry
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "DeadlineExceeded", "PartialResultError", "CircuitOpenError",
     "PartialResult",
     "RetryPolicy", "retry",
+    "HedgePolicy", "HedgeController",
     "ResilientBackend", "BACKEND_READ_RETRY",
 ]
 

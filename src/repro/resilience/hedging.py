@@ -1,0 +1,126 @@
+"""Hedged requests: bound straggler tails with one backup attempt.
+
+A fused batch fanned out across N shards finishes when its *slowest*
+shard does — one degraded backend (cold cache, GC pause, chaos-injected
+latency) sets the whole batch's tail.  The classic fix (Dean & Barroso,
+"The Tail at Scale") is the *hedged request*: when an attempt runs well
+past what its peers needed, launch one backup and take whichever
+finishes first.
+
+:class:`HedgeController` holds the adaptive part — an EWMA of recent
+per-shard attempt durations that turns "well past its peers" into a
+concrete delay — plus the hedge budget that keeps backups a tail
+remedy, not a load doubler:
+
+- ``hedge_delay_s(peer_durations)`` — hedge an attempt still running
+  after ``delay_factor ×`` the current duration estimate (this batch's
+  completed peers when available, the cross-batch EWMA otherwise),
+  floored at ``min_delay_ms``.  With no estimate at all (cold start),
+  no hedging: the first batches just measure.
+- ``batch_budget(n_jobs)`` — at most ``ceil(max_fraction × n_jobs)``
+  backups per batch, so even a pathological store hedges a bounded
+  fraction of its work (the acceptance gate holds the healthy-path
+  hedge *rate* under 10%).
+
+**Idempotency.** Hedging re-executes a shard lookup that may still be
+running.  That is safe here by construction: shard lookups are pure
+reads of an immutable snapshot (the topology tuple is swapped atomically
+— an attempt never sees a half-rebuilt shard), and both attempts
+scatter *bit-identical* bytes into disjoint destination rows of the
+batch's output arrays, so original and backup racing each other write
+the same values in either order.  The loser's only cost is wasted work,
+which the budget bounds.
+
+Thread-safe: the fan-out loop records durations from the dispatch
+thread while ``lookup_async`` callers may overlap.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["HedgePolicy", "HedgeController"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Knobs for when a straggling shard attempt earns a backup."""
+
+    #: Hedge an attempt running longer than this multiple of the
+    #: current per-attempt duration estimate.
+    delay_factor: float = 4.0
+    #: Never hedge before this many milliseconds, however fast the
+    #: estimate says peers are — guards against hedging jitter.
+    min_delay_ms: float = 2.0
+    #: At most this fraction of a batch's jobs may be hedged.
+    max_fraction: float = 0.25
+    #: EWMA smoothing for the cross-batch duration estimate.
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self):
+        if self.delay_factor < 1.0:
+            raise ValueError("delay_factor must be >= 1")
+        if self.min_delay_ms < 0:
+            raise ValueError("min_delay_ms must be >= 0")
+        if not 0.0 < self.max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class HedgeController:
+    """Adaptive hedge-delay estimator shared by a store's batches."""
+
+    def __init__(self, policy: Optional[HedgePolicy] = None):
+        self.policy = policy or HedgePolicy()
+        self._lock = threading.Lock()
+        self._ewma_s: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Feed one completed attempt's duration into the estimate."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            if self._ewma_s is None:
+                self._ewma_s = seconds
+            else:
+                alpha = self.policy.ewma_alpha
+                self._ewma_s = alpha * seconds + (1 - alpha) * self._ewma_s
+
+    @property
+    def estimate_s(self) -> Optional[float]:
+        with self._lock:
+            return self._ewma_s
+
+    def hedge_delay_s(
+            self, peer_durations: Sequence[float] = ()) -> Optional[float]:
+        """How long an attempt may run before earning a backup.
+
+        Prefers the median of *this batch's* completed peers (the most
+        relevant sample: same store state, same load), falling back to
+        the cross-batch EWMA; None while both are cold (no hedging on a
+        store that has never completed an attempt).
+        """
+        basis: Optional[float]
+        if peer_durations:
+            ordered = sorted(peer_durations)
+            basis = ordered[len(ordered) // 2]
+        else:
+            basis = self.estimate_s
+        if basis is None or basis <= 0:
+            return None
+        return max(self.policy.min_delay_ms / 1000.0,
+                   self.policy.delay_factor * basis)
+
+    def batch_budget(self, n_jobs: int) -> int:
+        """Backup attempts allowed for a batch of ``n_jobs`` (>= 1)."""
+        if n_jobs <= 0:
+            return 0
+        return max(1, math.ceil(self.policy.max_fraction * n_jobs))
+
+    def __repr__(self) -> str:
+        return (f"HedgeController(estimate_s={self.estimate_s}, "
+                f"factor={self.policy.delay_factor})")

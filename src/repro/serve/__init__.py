@@ -23,9 +23,11 @@ Three ways in:
 ratio, queue depth, per-tenant p50/p99), and deployment shapes.
 """
 
-from .batcher import Batcher, PendingRequest, QueueFullError
+from .batcher import Batcher, PendingRequest, QueueFullError, TenantQuotaError
 from .policy import AdmissionPolicy
 from .server import Client, LookupServer
+from .shedding import (LoadShedder, ServerDrainingError,
+                       ServerOverloadedError, SheddingPolicy)
 from .stats import ServeStats, TenantStats
 from .transport import BackgroundTCPServer, TCPClient, serve_tcp
 
@@ -34,8 +36,13 @@ __all__ = [
     "Batcher",
     "PendingRequest",
     "QueueFullError",
+    "TenantQuotaError",
     "Client",
     "LookupServer",
+    "LoadShedder",
+    "SheddingPolicy",
+    "ServerOverloadedError",
+    "ServerDrainingError",
     "ServeStats",
     "TenantStats",
     "TCPClient",
@@ -46,26 +53,49 @@ __all__ = [
 
 
 def run_forever(store, host: str = "127.0.0.1", port: int = 0,
-                policy=None, stats=None, on_ready=None) -> None:
-    """Serve ``store`` over TCP until interrupted (the CLI's engine).
+                policy=None, stats=None, shedder=None,
+                on_ready=None) -> None:
+    """Serve ``store`` over TCP until signalled (the CLI's engine).
 
     ``on_ready(port)`` fires once the socket is listening — with
-    ``port=0`` this is how the caller learns the assigned port.  Returns
-    cleanly on ``KeyboardInterrupt`` after draining in-flight batches.
+    ``port=0`` this is how the caller learns the assigned port.
+
+    Shutdown is **graceful**: SIGTERM or SIGINT (or a
+    ``KeyboardInterrupt`` on platforms without signal handlers) stops
+    the listener, then :meth:`LookupServer.drain` refuses new
+    admissions and finishes every request already admitted — queued or
+    in flight — before the function returns.  Zero in-flight work is
+    lost to a shutdown; the process exits 0.
     """
     import asyncio
+    import signal
 
     async def _main() -> None:
-        server = LookupServer(store, policy=policy, stats=stats)
+        server = LookupServer(store, policy=policy, stats=stats,
+                              shedder=shedder)
         tcp = await serve_tcp(server, host, port)
         if on_ready is not None:
             on_ready(tcp.sockets[0].getsockname()[1])
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                # Platforms/loops without signal support (Windows
+                # Proactor, embedded loops) fall back to the
+                # KeyboardInterrupt path below.
+                pass
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             tcp.close()
             await tcp.wait_closed()
-            await server.aclose()
+            await server.drain()
 
     try:
         asyncio.run(_main())

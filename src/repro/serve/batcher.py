@@ -28,7 +28,8 @@ checks this for arbitrary partitions, overlaps, and misses.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,13 +38,30 @@ from ..resilience.deadline import Deadline
 from ..resilience.partial import PartialResult
 from .policy import AdmissionPolicy
 
-__all__ = ["Batcher", "PendingRequest", "QueueFullError",
+__all__ = ["Batcher", "PendingRequest", "QueueFullError", "TenantQuotaError",
            "normalize_request_keys", "merge_requests", "scatter_result"]
 
 
 class QueueFullError(RuntimeError):
     """Admission refused: the forming batch already holds
-    ``policy.max_queue_requests`` requests (back-pressure)."""
+    ``policy.max_queue_requests`` requests (back-pressure).
+
+    ``retry_after_s`` — when the server has a service-rate estimate —
+    tells the caller how long the backlog is expected to take to clear;
+    the TCP transport forwards it as ``retry_after_ms``.
+    """
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class TenantQuotaError(QueueFullError):
+    """Admission refused for ONE tenant: its queued keys would exceed
+    its weighted fair-admission quota (``policy.tenant_quota_keys``).
+    Other tenants keep admitting — this is the clip that stops a
+    flooding tenant from consuming the whole queue."""
 
 
 def normalize_request_keys(keys, key_names) -> Dict[str, np.ndarray]:
@@ -113,6 +131,7 @@ class Batcher:
         self.clock = clock
         self._pending: List[PendingRequest] = []
         self._pending_keys = 0
+        self._tenant_keys: Dict[str, int] = {}
         self._deadline: Optional[float] = None
 
     def __len__(self) -> int:
@@ -123,6 +142,29 @@ class Batcher:
         """Keys queued in the forming batch (pre-dedup)."""
         return self._pending_keys
 
+    def tenant_queued_keys(self, tenant: str) -> int:
+        """Keys ``tenant`` currently holds in the queue."""
+        return self._tenant_keys.get(tenant, 0)
+
+    def over_fair_share(self, tenant: str, extra_keys: int = 0) -> bool:
+        """Would ``tenant`` (with ``extra_keys`` more) exceed its
+        weighted fair share of the queued keys?
+
+        Fair share is computed over the tenants *currently queued* (plus
+        the candidate): a tenant alone in the queue is never over-share
+        — there is nobody to be unfair to.  The shedder uses this to
+        pick its first victims when the backlog estimate crosses the
+        target: over-share tenants shed before anyone else feels it.
+        """
+        active = set(self._tenant_keys)
+        active.add(tenant)
+        if len(active) <= 1:
+            return False
+        total_weight = sum(self.policy.weight(name) for name in active)
+        total_keys = self._pending_keys + extra_keys
+        share = total_keys * self.policy.weight(tenant) / total_weight
+        return self.tenant_queued_keys(tenant) + extra_keys > share
+
     def add(self, request: PendingRequest) -> bool:
         """Queue ``request``; True when the size trigger says flush now.
 
@@ -132,14 +174,24 @@ class Batcher:
         point earlier — a waiter with 5 ms of budget must not sit out a
         20 ms admission window — so after an ``add`` the server re-arms
         its timer whenever :meth:`deadline` moved up.  Raises
-        :class:`QueueFullError` when the policy's queue bound is hit —
-        the caller fails that request alone.
+        :class:`QueueFullError` when the policy's queue bound is hit,
+        or :class:`TenantQuotaError` when this tenant's weighted
+        queued-key quota is — the caller fails that request alone.
         """
         limit = self.policy.max_queue_requests
         if limit is not None and len(self._pending) >= limit:
             raise QueueFullError(
                 f"forming batch already holds {len(self._pending)} requests "
                 f"(max_queue_requests={limit})")
+        quota = self.policy.quota_keys(request.tenant)
+        if quota is not None and \
+                self.tenant_queued_keys(request.tenant) + request.n_keys \
+                > quota:
+            raise TenantQuotaError(
+                f"tenant {request.tenant!r} holds "
+                f"{self.tenant_queued_keys(request.tenant)} queued keys; "
+                f"{request.n_keys} more would exceed its quota of "
+                f"{quota:g}")
         if not self._pending:
             self._deadline = self.clock() + self.policy.max_delay_seconds
         if request.deadline is not None \
@@ -155,7 +207,27 @@ class Batcher:
             self._deadline = now + remaining / 2.0
         self._pending.append(request)
         self._pending_keys += request.n_keys
+        self._tenant_keys[request.tenant] = \
+            self._tenant_keys.get(request.tenant, 0) + request.n_keys
         return self._pending_keys >= self.policy.max_batch_keys
+
+    def evict_expired(self,
+                      now: Optional[float] = None) -> List[PendingRequest]:
+        """Remove (and return) queued waiters whose deadline has passed.
+
+        A dead waiter must not hold a queue slot against live
+        admissions: the server calls this when :meth:`add` reports the
+        queue full, fails the evicted requests with their own
+        ``DeadlineExceeded``, and retries the admission once.
+        """
+        if not self._pending:
+            return []
+        now = self.clock() if now is None else now
+        expired = [r for r in self._pending
+                   if r.deadline is not None and r.deadline.expires_at <= now]
+        if expired:
+            self._remove(expired)
+        return expired
 
     def deadline(self) -> Optional[float]:
         """When the delay trigger fires, or None while idle.
@@ -173,11 +245,103 @@ class Batcher:
         return (now if now is not None else self.clock()) >= self._deadline
 
     def take(self) -> List[PendingRequest]:
-        """Drain the forming batch (resets the delay clock to idle)."""
-        batch, self._pending = self._pending, []
-        self._pending_keys = 0
-        self._deadline = None
+        """Drain the forming batch for execution.
+
+        When everything queued fits under ``max_batch_keys`` (the common
+        case — the size trigger flushes at the bound) the whole queue
+        drains in arrival order, exactly the historical behavior.  Under
+        overload more keys can be queued than one fused batch should
+        carry; then the drain is **deficit-round-robin across tenants**:
+        each tenant's queue is served FIFO, tenants take turns with a
+        weight-scaled key quantum, and whatever does not fit stays
+        queued for the next flush.  A flooding tenant is thereby clipped
+        to its share of every batch while a light tenant's lone request
+        always rides the next one — the fairness half of overload
+        control (the shedder is the other half).
+
+        Resets the delay clock to idle when the queue empties; otherwise
+        re-points it at the oldest *remaining* waiter so the server can
+        re-arm its timer for the leftovers.
+        """
+        if not self._pending:
+            return []
+        max_keys = self.policy.max_batch_keys
+        if self._pending_keys <= max_keys or len(self._pending) == 1:
+            batch, self._pending = self._pending, []
+            self._pending_keys = 0
+            self._tenant_keys.clear()
+            self._deadline = None
+            return batch
+        batch = self._drr_select(max_keys)
+        self._remove(batch)
         return batch
+
+    def _drr_select(self, max_keys: int) -> List[PendingRequest]:
+        """Pick ~``max_keys`` queued keys, deficit-round-robin by tenant.
+
+        Tenants are visited in first-arrival order; each visit grants a
+        weight-scaled quantum of key credit, and a tenant's queue pops
+        (FIFO) while its credit covers its head request.  Credit grows
+        every round, so the loop always terminates — and a head request
+        larger than ``max_keys`` is still taken once the batch is
+        otherwise empty (one oversized request flushes alone rather
+        than wedging the queue).
+        """
+        queues: Dict[str, Deque[PendingRequest]] = {}
+        order: List[str] = []
+        for request in self._pending:
+            if request.tenant not in queues:
+                queues[request.tenant] = deque()
+                order.append(request.tenant)
+            queues[request.tenant].append(request)
+        quantum = max(1, max_keys // max(1, len(order)))
+        deficit = {tenant: 0.0 for tenant in order}
+        taken: List[PendingRequest] = []
+        taken_keys = 0
+        while queues and taken_keys < max_keys:
+            for tenant in order:
+                queue = queues.get(tenant)
+                if queue is None:
+                    continue
+                deficit[tenant] += quantum * self.policy.weight(tenant)
+                while queue and deficit[tenant] >= queue[0].n_keys \
+                        and taken_keys < max_keys:
+                    request = queue.popleft()
+                    deficit[tenant] -= request.n_keys
+                    taken.append(request)
+                    taken_keys += request.n_keys
+                if not queue:
+                    del queues[tenant]
+        return taken
+
+    def _remove(self, removed: List[PendingRequest]) -> None:
+        """Drop ``removed`` from the queue and re-point the delay clock
+        at the oldest remaining waiter (idle when none remain)."""
+        removed_ids = {id(r) for r in removed}
+        remaining = [r for r in self._pending if id(r) not in removed_ids]
+        self._pending = remaining
+        self._pending_keys = sum(r.n_keys for r in remaining)
+        self._tenant_keys.clear()
+        for request in remaining:
+            self._tenant_keys[request.tenant] = \
+                self._tenant_keys.get(request.tenant, 0) + request.n_keys
+        if not remaining:
+            self._deadline = None
+            return
+        # Leftover waiters were admitted before this flush: their policy
+        # point (oldest admission + max_delay) has typically passed, so
+        # the re-armed timer fires immediately and they ride the next
+        # batch.  An urgent per-request deadline still pulls the point
+        # earlier, with the same half-budget service margin as add().
+        now = self.clock()
+        point = min(r.admitted_at for r in remaining) \
+            + self.policy.max_delay_seconds
+        for request in remaining:
+            if request.deadline is not None \
+                    and request.deadline.expires_at < point:
+                margin = max(0.0, request.deadline.expires_at - now) / 2.0
+                point = min(point, now + margin)
+        self._deadline = point
 
 
 # --------------------------------------------------------------------------

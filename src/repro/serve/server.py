@@ -38,9 +38,11 @@ from typing import Dict, Optional, Union
 from ..core.deep_mapping import LookupResult
 from ..resilience.deadline import Deadline, default_timeout
 from ..resilience.errors import DeadlineExceeded
-from .batcher import (Batcher, PendingRequest, merge_requests,
-                      normalize_request_keys, scatter_result)
+from .batcher import (Batcher, PendingRequest, QueueFullError,
+                      merge_requests, normalize_request_keys,
+                      scatter_result)
 from .policy import AdmissionPolicy
+from .shedding import LoadShedder, ServerDrainingError, ServerOverloadedError
 from .stats import ServeStats
 
 __all__ = ["LookupServer", "Client"]
@@ -51,6 +53,10 @@ DEFAULT_TENANT = "default"
 #: remote lazy-hydration activity in :class:`ServeStats` (all absent /
 #: zero-delta for local opens).
 _HYDRATION_KEYS = ("range_requests", "hydrated_bytes", "hydration_waits")
+
+#: Store-stats counters bracketed the same way to surface hedged-read
+#: activity (sharded stores with ``hedged_reads=True`` only).
+_HEDGE_KEYS = ("hedges_launched", "hedges_won")
 
 
 class LookupServer:
@@ -63,16 +69,22 @@ class LookupServer:
     """
 
     def __init__(self, store, policy: Optional[AdmissionPolicy] = None,
-                 stats: Optional[ServeStats] = None):
+                 stats: Optional[ServeStats] = None,
+                 shedder: Optional[LoadShedder] = None):
         self.store = store
         self.policy = policy or AdmissionPolicy()
         self.stats = stats or ServeStats()
+        #: Optional :class:`~repro.serve.shedding.LoadShedder`; when set,
+        #: admission consults it *before* a request takes a queue slot.
+        self.shedder = shedder
         self._batcher = Batcher(self.policy)
         self._key_names = tuple(store.key_names)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._timer: Optional[asyncio.TimerHandle] = None
         self._inflight: set = set()
+        self._inflight_keys = 0
         self._closed = False
+        self._draining = False
         # Capability sniff, once: a store whose lookup_async accepts a
         # ``deadline`` keyword (the sharded store) has the budget pushed
         # down so shard jobs self-terminate; other stores are bounded
@@ -105,20 +117,50 @@ class LookupServer:
         self._bind(loop)
         if self._closed:
             raise RuntimeError("lookup server is closed")
+        if self._draining:
+            self.stats.record_reject(tenant)
+            raise ServerDrainingError(
+                "lookup server is draining; route to another instance")
         try:
             key_cols = normalize_request_keys(keys, self._key_names)
             deadline = self._admission_deadline(deadline_ms, loop)
         except (TypeError, ValueError, KeyError):
             self.stats.record_reject(tenant)
             raise
+        n_keys = int(next(iter(key_cols.values())).size)
+        if self.shedder is not None:
+            # Shed *before* taking a queue slot: backlog = queued keys
+            # plus the batches already executing; over-fair-share
+            # tenants shed first (the soft tier of the ladder).
+            retry_after = self.shedder.admit(
+                n_keys, self._batcher.pending_keys + self._inflight_keys,
+                self._batcher.over_fair_share(tenant, n_keys))
+            if retry_after is not None:
+                self.stats.record_shed(tenant)
+                raise ServerOverloadedError(
+                    f"server overloaded ({self.shedder.level}); retry in "
+                    f"{retry_after * 1000:.0f} ms",
+                    retry_after_s=retry_after)
         future: asyncio.Future = loop.create_future()
         request = PendingRequest(key_cols, tenant, future, loop.time(),
                                  deadline=deadline)
         try:
             flush_now = self._batcher.add(request)
-        except RuntimeError:  # QueueFullError — back-pressure
-            self.stats.record_reject(tenant)
-            raise
+        except QueueFullError:
+            # Before rejecting, evict queued waiters whose deadline has
+            # already passed — a dead waiter must not hold a slot
+            # against live admissions — and retry exactly once.
+            evicted = self._batcher.evict_expired()
+            for dead in evicted:
+                self._expire(dead, "while queued")
+            if not evicted:
+                self.stats.record_reject(tenant)
+                raise
+            try:
+                flush_now = self._batcher.add(request)
+            except QueueFullError:
+                self.stats.record_reject(tenant)
+                raise
         self.stats.record_admit(tenant, request.n_keys)
         if flush_now:
             self._flush()
@@ -173,16 +215,30 @@ class LookupServer:
             self._flush()
 
     def _flush(self) -> None:
-        """Drain the forming batch into one in-flight execution task."""
+        """Drain the forming batch into one in-flight execution task.
+
+        Under overload the batcher's deficit-round-robin drain may leave
+        requests queued (they did not fit this batch's key budget); the
+        timer is re-armed for them so they ride the next flush.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         batch = self._batcher.take()
         if not batch:
             return
+        batch_keys = sum(r.n_keys for r in batch)
+        self._inflight_keys += batch_keys
         task = self._loop.create_task(self._execute(batch))
         self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+
+        def _settle(t, keys=batch_keys):
+            self._inflight.discard(t)
+            self._inflight_keys = max(0, self._inflight_keys - keys)
+
+        task.add_done_callback(_settle)
+        if len(self._batcher):
+            self._arm_timer(self._loop)
 
     def _expire(self, request, where: str) -> None:
         """Fail one request whose budget ran out (alone, typed)."""
@@ -232,6 +288,9 @@ class LookupServer:
         hydration_before = (tuple(counters.get(k, 0)
                                   for k in _HYDRATION_KEYS)
                             if counters is not None else None)
+        hedges_before = (tuple(counters.get(k, 0) for k in _HEDGE_KEYS)
+                         if counters is not None else None)
+        started = self._loop.time()
         try:
             # Coordinator lane: the store's executor runs the fused
             # batch off-loop; shard fan-out uses its separate worker
@@ -272,7 +331,15 @@ class LookupServer:
             self.stats.record_hydration(
                 *(counters.get(k, 0) - before
                   for k, before in zip(_HYDRATION_KEYS, hydration_before)))
+            self.stats.record_hedges(
+                *(counters.get(k, 0) - before
+                  for k, before in zip(_HEDGE_KEYS, hedges_before)))
         now = self._loop.time()
+        if self.shedder is not None and n_unique > 0:
+            # Feed the service-rate EWMA from successful fused calls
+            # only — failed/fallback batches would skew the rate with
+            # timeout latencies the shedder exists to prevent.
+            self.shedder.observe_batch(n_unique, max(1e-9, now - started))
         for request, (lo, hi) in zip(batch, slices):
             if request.future.done():
                 continue
@@ -331,6 +398,63 @@ class LookupServer:
         """True while a delay-trigger wakeup is scheduled."""
         return self._timer is not None
 
+    @property
+    def health(self) -> Dict[str, object]:
+        """Readiness/liveness snapshot for a fronting balancer.
+
+        ``ready`` goes false the instant :meth:`drain` starts (rotate
+        traffic away); ``live`` stays true until the server is closed
+        (the process is still finishing admitted work).
+        """
+        return {
+            "ready": not (self._draining or self._closed),
+            "live": not self._closed,
+            "draining": self._draining,
+            "queued_requests": len(self._batcher),
+            "queued_keys": self._batcher.pending_keys,
+            "inflight_batches": len(self._inflight),
+            "shed_level": (self.shedder.level if self.shedder is not None
+                           else "healthy"),
+        }
+
+    async def drain(self) -> Dict[str, int]:
+        """Zero-downtime shutdown: stop admission, finish everything.
+
+        The graceful half of the shutdown pair (:meth:`aclose` is the
+        abrupt half).  New lookups are refused with
+        :class:`~repro.serve.shedding.ServerDrainingError` from the
+        moment drain starts, but every request already admitted — queued
+        in the forming batch or in an executing fused call — completes
+        normally: zero in-flight work is lost.  Idempotent; a second
+        caller awaits the same completion.  Returns counts of what was
+        flushed and awaited.
+        """
+        if self._loop is None:
+            # Never served a request: nothing to flush, just seal.
+            self._draining = True
+            self._closed = True
+            return {"flushed_requests": 0, "awaited_batches": 0}
+        self._draining = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        flushed = 0
+        # DRR-clipped takes can leave leftovers queued; loop until the
+        # queue is truly empty (admission is off, so this terminates).
+        while len(self._batcher):
+            before = len(self._batcher)
+            self._flush()
+            flushed += before - len(self._batcher)
+            if len(self._batcher) >= before:  # pragma: no cover - safety
+                break
+        awaited = 0
+        while self._inflight:
+            pending = tuple(self._inflight)
+            awaited += len(pending)
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._closed = True
+        return {"flushed_requests": flushed, "awaited_batches": awaited}
+
     async def aclose(self) -> None:
         """Refuse new work, cancel queued requests, drain in-flight.
 
@@ -361,8 +485,10 @@ class Client:
 
     def __init__(self, store, policy: Optional[AdmissionPolicy] = None,
                  stats: Optional[ServeStats] = None, *,
+                 shedder: Optional[LoadShedder] = None,
                  close_store: bool = False):
-        self.server = LookupServer(store, policy=policy, stats=stats)
+        self.server = LookupServer(store, policy=policy, stats=stats,
+                                   shedder=shedder)
         self._close_store = close_store
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run,
@@ -416,6 +542,27 @@ class Client:
         keys = {name: np.array([value], dtype=np.int64)
                 for name, value in key_parts.items()}
         return next(self.lookup(keys).rows())
+
+    def health(self) -> Dict[str, object]:
+        """The server's readiness/liveness snapshot (thread-safe read)."""
+        return self.server.health
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, int]:
+        """Gracefully drain the server: refuse new work, finish all
+        admitted work, then stop the loop thread.  Returns the drain
+        report.  After this the client behaves as closed."""
+        if self._closed:
+            return {"flushed_requests": 0, "awaited_batches": 0}
+        self._closed = True
+        bound = default_timeout(timeout)
+        report = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop).result(timeout=bound)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=bound)
+        self._loop.close()
+        if self._close_store:
+            self.store.close()
+        return report
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Shut the server down and stop the loop thread (idempotent).

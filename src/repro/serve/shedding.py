@@ -1,0 +1,196 @@
+"""Adaptive load shedding for the coalescing lookup server.
+
+Back-pressure via ``max_queue_requests`` alone is a cliff: the queue
+saturates, every tenant sees hard rejects, and the requests already
+queued have accumulated the full backlog's latency before they fail.
+The :class:`LoadShedder` turns the cliff into a ramp (the *degradation
+ladder* in ``docs/serving.md``):
+
+1. **fair-share clip** — the batcher's per-tenant quota and
+   deficit-round-robin drain bound what a flooding tenant can queue and
+   ride (no shedding involved);
+2. **shed with retry-after** — when the *estimated backlog delay*
+   (queued + in-flight keys over the observed service rate) crosses
+   ``target_delay_ms``, new work from tenants already over their fair
+   share is refused early with a :class:`ServerOverloadedError`
+   carrying a retry-after hint;
+3. **hard reject** — past ``hard_delay_ms`` every new request is shed
+   (the server is underwater; admitting anything only lengthens the
+   queue everyone is stuck behind), and behind that the queue bound
+   still backstops.
+
+The service-rate estimate is an EWMA over observed batch executions
+(keys per second), fed by ``LookupServer._execute`` — no clock reads of
+its own, no timers, nothing armed while idle.  Until
+``min_observations`` batches have been seen the shedder admits
+everything: cold servers must not shed their warm-up traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from .batcher import QueueFullError
+
+__all__ = ["SheddingPolicy", "LoadShedder", "ServerOverloadedError",
+           "ServerDrainingError"]
+
+
+class ServerOverloadedError(QueueFullError):
+    """Admission refused by the adaptive load shedder.
+
+    Subclasses :class:`QueueFullError` so callers that already catch
+    queue-full back-pressure handle shedding without code changes;
+    ``retry_after_s`` estimates when the backlog will have drained to
+    the target.  The TCP transport forwards it as ``retry_after_ms``
+    and the client re-raises a typed twin (``transport.py``).
+    """
+
+
+class ServerDrainingError(RuntimeError):
+    """Admission refused because the server is draining for shutdown.
+
+    Not retryable against *this* instance — a fronting balancer should
+    route to a peer (the ``health`` verb reports ``ready: false`` for
+    the whole drain window).
+    """
+
+
+@dataclass(frozen=True)
+class SheddingPolicy:
+    """Knobs for the adaptive shedder's delay-estimate thresholds."""
+
+    #: Estimated backlog delay (ms) past which over-fair-share work is
+    #: shed.  Keep above the admission window (``max_delay_ms``) —
+    #: queueing up to one window is the design, not overload.
+    target_delay_ms: float = 20.0
+    #: Estimated backlog delay (ms) past which *all* new work is shed.
+    hard_delay_ms: float = 100.0
+    #: EWMA smoothing for the service-rate estimate (higher = snappier).
+    ewma_alpha: float = 0.25
+    #: Batches observed before the shedder trusts its rate estimate and
+    #: starts shedding at all.
+    min_observations: int = 3
+    #: Floor on the retry-after hint so clients never busy-spin.
+    min_retry_after_ms: float = 5.0
+
+    def __post_init__(self):
+        if self.target_delay_ms <= 0:
+            raise ValueError("target_delay_ms must be > 0")
+        if self.hard_delay_ms < self.target_delay_ms:
+            raise ValueError("hard_delay_ms must be >= target_delay_ms")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+
+
+class LoadShedder:
+    """EWMA service-rate tracker + admission verdicts.
+
+    Thread-safe (the TCP ``stats`` op and in-process clients read
+    ``level`` off-loop), but all verdicts happen on the server's
+    event-loop thread.
+    """
+
+    def __init__(self, policy: Optional[SheddingPolicy] = None):
+        self.policy = policy or SheddingPolicy()
+        self._lock = threading.Lock()
+        self._rate_keys_per_s: Optional[float] = None
+        self._observations = 0
+        self._last_delay_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe_batch(self, n_keys: int, seconds: float) -> None:
+        """Record one successful fused batch execution."""
+        if n_keys <= 0 or seconds <= 0:
+            return
+        rate = n_keys / seconds
+        with self._lock:
+            if self._rate_keys_per_s is None:
+                self._rate_keys_per_s = rate
+            else:
+                alpha = self.policy.ewma_alpha
+                self._rate_keys_per_s = (alpha * rate
+                                         + (1 - alpha) * self._rate_keys_per_s)
+            self._observations += 1
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def estimated_delay_ms(self, backlog_keys: int) -> Optional[float]:
+        """Expected time for ``backlog_keys`` to clear at the current
+        service-rate estimate, None while the estimate is cold."""
+        with self._lock:
+            if self._observations < self.policy.min_observations \
+                    or not self._rate_keys_per_s:
+                return None
+            return backlog_keys / self._rate_keys_per_s * 1000.0
+
+    def admit(self, n_keys: int, backlog_keys: int,
+              over_share: bool) -> Optional[float]:
+        """Admission verdict for a request of ``n_keys``.
+
+        ``backlog_keys`` is queued + in-flight keys; ``over_share``
+        whether this tenant already exceeds its weighted fair share of
+        the queue.  Returns None to admit, or a ``retry_after_s`` hint
+        when the request should be shed.
+        """
+        delay_ms = self.estimated_delay_ms(backlog_keys + n_keys)
+        with self._lock:
+            self._last_delay_ms = delay_ms if delay_ms is not None else 0.0
+        if delay_ms is None:
+            return None
+        if delay_ms > self.policy.hard_delay_ms \
+                or (delay_ms > self.policy.target_delay_ms and over_share):
+            hint_ms = max(self.policy.min_retry_after_ms,
+                          delay_ms - self.policy.target_delay_ms)
+            return hint_ms / 1000.0
+        return None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def service_rate_keys_per_s(self) -> Optional[float]:
+        with self._lock:
+            if self._observations < self.policy.min_observations:
+                return None
+            return self._rate_keys_per_s
+
+    @property
+    def level(self) -> str:
+        """Last verdict's position on the ladder: ``healthy`` /
+        ``shedding`` (over-share work refused) / ``critical`` (all new
+        work refused)."""
+        with self._lock:
+            delay = self._last_delay_ms
+        if delay > self.policy.hard_delay_ms:
+            return "critical"
+        if delay > self.policy.target_delay_ms:
+            return "shedding"
+        return "healthy"
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            rate = (self._rate_keys_per_s
+                    if self._observations >= self.policy.min_observations
+                    else None)
+            delay = self._last_delay_ms
+            observations = self._observations
+        return {
+            "level": ("critical" if delay > self.policy.hard_delay_ms
+                      else "shedding" if delay > self.policy.target_delay_ms
+                      else "healthy"),
+            "service_rate_keys_per_s": rate,
+            "last_estimated_delay_ms": delay,
+            "observations": observations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"LoadShedder(level={self.level!r}, "
+                f"rate={self.service_rate_keys_per_s})")

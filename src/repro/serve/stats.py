@@ -63,7 +63,8 @@ class LatencyRing:
 class TenantStats:
     """One tenant's view: volume, failures, and latency percentiles."""
 
-    __slots__ = ("requests", "keys", "errors", "pruned_keys", "latencies")
+    __slots__ = ("requests", "keys", "errors", "pruned_keys", "shed",
+                 "latencies")
 
     def __init__(self, latency_window: int = 4096):
         self.requests = 0
@@ -73,6 +74,9 @@ class TenantStats:
         #: pruned before dispatch, attributed to this tenant (see
         #: ``ServeStats.record_pruned`` for attribution semantics).
         self.pruned_keys = 0
+        #: Requests the load shedder turned away (with a retry-after
+        #: hint) — counted for *this* tenant only, never its batchmates.
+        self.shed = 0
         self.latencies = LatencyRing(latency_window)
 
     def p50(self) -> Optional[float]:
@@ -89,6 +93,7 @@ class TenantStats:
             "keys": self.keys,
             "errors": self.errors,
             "pruned_keys": self.pruned_keys,
+            "shed": self.shed,
             "completed": self.latencies.count,
             "p50_seconds": self.p50(),
             "p99_seconds": self.p99(),
@@ -121,6 +126,11 @@ class ServeStats:
         self.batch_fallbacks = 0
         #: Requests refused at admission (bad keys, queue full, closed).
         self.rejected = 0
+        #: Requests the adaptive load shedder refused early (before they
+        #: held a queue slot), each with a retry-after hint.  Shedding is
+        #: the soft tier of the degradation ladder; ``rejected`` is the
+        #: hard bound behind it.
+        self.shed = 0
         #: Requests that ran out of deadline budget in the tier (queued
         #: past expiry, or the store call outlived their deadline).
         self.deadline_expired = 0
@@ -136,6 +146,12 @@ class ServeStats:
         self.range_requests = 0
         self.hydrated_bytes = 0
         self.hydration_waits = 0
+        #: Hedged-read telemetry mirrored from the sharded store (same
+        #: bracket mechanism as hydration): backup shard attempts
+        #: launched for stragglers, and how many of those backups won
+        #: the race against the original attempt.
+        self.hedges_launched = 0
+        self.hedges_won = 0
         #: Requests currently queued in the forming batch.
         self.queue_depth = 0
         #: High-water mark of ``queue_depth``.
@@ -185,6 +201,15 @@ class ServeStats:
         record = self.tenant(tenant)
         with self._lock:
             self.rejected += 1
+            record.errors += 1
+
+    def record_shed(self, tenant: str) -> None:
+        """One request turned away by the load shedder — charged to the
+        shedding tenant alone (its batchmates' stats are untouched)."""
+        record = self.tenant(tenant)
+        with self._lock:
+            self.shed += 1
+            record.shed += 1
             record.errors += 1
 
     def record_expired(self, tenant: str) -> None:
@@ -237,6 +262,15 @@ class ServeStats:
             self.hydrated_bytes += max(0, hydrated_bytes)
             self.hydration_waits += max(0, hydration_waits)
 
+    def record_hedges(self, launched: int, won: int) -> None:
+        """Accumulate one batch's hedged-read deltas (store-stats
+        bracket; approximate under overlapping batches)."""
+        if not (launched or won):
+            return
+        with self._lock:
+            self.hedges_launched += max(0, launched)
+            self.hedges_won += max(0, won)
+
     def record_wakeup(self) -> None:
         with self._lock:
             self.timer_wakeups += 1
@@ -283,9 +317,14 @@ class ServeStats:
                     "hydrated_bytes": self.hydrated_bytes,
                     "hydration_waits": self.hydration_waits,
                 },
+                "hedges": {
+                    "launched": self.hedges_launched,
+                    "won": self.hedges_won,
+                },
                 "timer_wakeups": self.timer_wakeups,
                 "batch_fallbacks": self.batch_fallbacks,
                 "rejected": self.rejected,
+                "shed": self.shed,
                 "deadline_expired": self.deadline_expired,
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,

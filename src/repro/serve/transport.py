@@ -16,6 +16,19 @@ Responses carry the echoed ``id`` plus either ``found``/``values``
 (lookup), ``stats`` (a :meth:`~repro.serve.stats.ServeStats.snapshot`),
 ``pong`` (ping), or ``error`` (a message string; the connection stays
 open — one bad request fails alone, same containment as in-process).
+Error responses also carry ``error_type`` (the server-side exception
+class name) and, for overload rejections, ``retry_after_ms`` — so
+:class:`TCPClient` re-raises **typed** errors
+(:class:`~repro.serve.shedding.ServerOverloadedError` with its
+retry-after hint, :class:`~repro.serve.shedding.ServerDrainingError`)
+instead of a generic ``RuntimeError`` string.
+
+Control verbs for a fronting balancer / process manager:
+
+- ``op: "health"`` — the server's readiness/liveness snapshot
+  (``ready`` flips false the moment a drain starts);
+- ``op: "drain"`` — zero-downtime shutdown: stops admission, finishes
+  every admitted request, answers with the drain report.
 
 Every request line becomes its own task on the server loop, so requests
 pipelined on one connection — and across connections — coalesce into the
@@ -36,8 +49,14 @@ import numpy as np
 from ..resilience.deadline import default_timeout
 from ..resilience.retry import RetryPolicy, retry
 from .server import DEFAULT_TENANT, LookupServer
+from .shedding import ServerDrainingError, ServerOverloadedError
 
 __all__ = ["serve_tcp", "TCPClient", "BackgroundTCPServer", "encode_result"]
+
+#: Server-side exception class names the client maps back to a typed
+#: overload error (all carry an optional retry-after hint).
+_OVERLOAD_ERROR_TYPES = frozenset(
+    {"ServerOverloadedError", "QueueFullError", "TenantQuotaError"})
 
 #: Refuse lines longer than this (64 MiB) instead of buffering forever.
 MAX_LINE_BYTES = 64 * 1024 * 1024
@@ -64,6 +83,11 @@ async def _handle_line(server: LookupServer, line: bytes) -> Dict:
             return {"id": request_id, "pong": True}
         if op == "stats":
             return {"id": request_id, "stats": server.stats.snapshot()}
+        if op == "health":
+            return {"id": request_id, "health": server.health}
+        if op == "drain":
+            report = await server.drain()
+            return {"id": request_id, "drain": report}
         if op != "lookup":
             return {"id": request_id, "error": f"unknown op {op!r}"}
         raw = message.get("keys")
@@ -78,9 +102,16 @@ async def _handle_line(server: LookupServer, line: bytes) -> Dict:
         response.update(encode_result(result))
         return response
     except asyncio.CancelledError:
-        return {"id": request_id, "error": "server closed"}
+        return {"id": request_id, "error": "server closed",
+                "error_type": "CancelledError"}
     except Exception as exc:  # containment: this request fails alone
-        return {"id": request_id, "error": f"{type(exc).__name__}: {exc}"}
+        response = {"id": request_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "error_type": type(exc).__name__}
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            response["retry_after_ms"] = retry_after * 1000.0
+        return response
 
 
 async def serve_tcp(server: LookupServer, host: str = "127.0.0.1",
@@ -143,12 +174,13 @@ class BackgroundTCPServer:
     in-flight batches before stopping the loop).
     """
 
-    def __init__(self, store, policy=None, stats=None,
+    def __init__(self, store, policy=None, stats=None, shedder=None,
                  host: str = "127.0.0.1", port: int = 0,
                  control_timeout: Optional[float] = None):
         import threading
 
-        self.server = LookupServer(store, policy=policy, stats=stats)
+        self.server = LookupServer(store, policy=policy, stats=stats,
+                                   shedder=shedder)
         self.host = host
         #: Bound on control-plane waits (startup, shutdown drain, loop
         #: join); defaults to the fleet-wide
@@ -175,6 +207,26 @@ class BackgroundTCPServer:
     def connect(self, timeout: Optional[float] = None) -> "TCPClient":
         """A fresh blocking client bound to this server."""
         return TCPClient(self.host, self.port, timeout=timeout)
+
+    def drain(self) -> Dict[str, int]:
+        """Gracefully drain: stop the listener, refuse new admissions,
+        finish every admitted request, stop the loop.  Returns the
+        drain report; afterwards the server is closed."""
+        if self._closed:
+            return {"flushed_requests": 0, "awaited_batches": 0}
+        self._closed = True
+
+        async def _drain() -> Dict[str, int]:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            return await self.server.drain()
+
+        report = asyncio.run_coroutine_threadsafe(
+            _drain(), self._loop).result(timeout=self.control_timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=self.control_timeout)
+        self._loop.close()
+        return report
 
     def close(self) -> None:
         if self._closed:
@@ -256,9 +308,15 @@ class TCPClient:
         """Lookup; returns ``{"found": [...], "values": {col: [...]}}``.
 
         ``deadline_ms`` rides the wire as the request's end-to-end
-        budget on the server side.  Raises ``RuntimeError`` when the
-        server answered with an error (including a blown deadline,
-        reported as ``DeadlineExceeded: ...``).
+        budget on the server side.  Server-side errors re-raise typed
+        where the wire says how: overload rejections raise
+        :class:`~repro.serve.shedding.ServerOverloadedError` (with
+        ``retry_after_s`` from the server's hint — catchable as the
+        ``RuntimeError`` older callers already handle), a draining
+        server raises
+        :class:`~repro.serve.shedding.ServerDrainingError`, and
+        everything else stays a ``RuntimeError`` with the server's
+        message (including a blown deadline, ``DeadlineExceeded: ...``).
         """
         message: Dict = {"op": "lookup",
                          "keys": {name: np.asarray(values).tolist()
@@ -269,8 +327,25 @@ class TCPClient:
             message["deadline_ms"] = float(deadline_ms)
         response = self._call(message)
         if "error" in response:
-            raise RuntimeError(response["error"])
+            raise self._typed_error(response)
         return response
+
+    @staticmethod
+    def _typed_error(response: Dict) -> RuntimeError:
+        """Rebuild a typed exception from an error response's
+        ``error_type``/``retry_after_ms`` fields (plain ``RuntimeError``
+        for everything the client has no type for)."""
+        error_type = response.get("error_type")
+        message = response["error"]
+        if error_type in _OVERLOAD_ERROR_TYPES:
+            retry_ms = response.get("retry_after_ms")
+            return ServerOverloadedError(
+                message,
+                retry_after_s=(retry_ms / 1000.0
+                               if retry_ms is not None else None))
+        if error_type == "ServerDrainingError":
+            return ServerDrainingError(message)
+        return RuntimeError(message)
 
     def stats(self) -> Dict:
         """The server's live :meth:`ServeStats.snapshot`."""
@@ -281,6 +356,25 @@ class TCPClient:
 
     def ping(self) -> bool:
         return bool(self._call({"op": "ping"}).get("pong"))
+
+    def health(self) -> Dict:
+        """The server's readiness/liveness snapshot."""
+        response = self._call({"op": "health"})
+        if "error" in response:
+            raise self._typed_error(response)
+        return response["health"]
+
+    def drain(self) -> Dict:
+        """Ask the server to drain; returns its drain report.
+
+        The server finishes every admitted request before answering, so
+        this blocks for the in-flight work (bounded by the client's
+        socket timeout).
+        """
+        response = self._call({"op": "drain"})
+        if "error" in response:
+            raise self._typed_error(response)
+        return response["drain"]
 
     def close(self) -> None:
         try:

@@ -62,8 +62,10 @@ from __future__ import annotations
 import functools
 import os
 import pickle
-from concurrent.futures import Future
+import time
+from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
@@ -81,6 +83,7 @@ from ..data.table import ColumnTable
 from ..lifecycle import LifecycleConfig, MaintenanceEngine, derive_build_config
 from ..resilience.deadline import Deadline
 from ..resilience.errors import DeadlineExceeded
+from ..resilience.hedging import HedgeController
 from ..resilience.partial import PartialResult
 from ..storage.backends import StorageBackend, backend_for_url
 from ..storage.blob_cache import payload_cache
@@ -171,6 +174,16 @@ class ShardingConfig:
     #: either way.  ``False`` disables building (and, on load, ignores
     #: persisted filters).
     negative_filter: bool = True
+    #: Hedged shard reads: when a routed shard's plan-job runs well past
+    #: an adaptive multiple of what its batch peers needed (see
+    #: :class:`~repro.resilience.hedging.HedgeController`), launch ONE
+    #: backup attempt on the fan-out lane and take whichever finishes
+    #: first.  Safe because shard lookups are pure reads of an
+    #: atomically-snapshotted topology and both attempts scatter
+    #: bit-identical bytes into disjoint output rows; bounded by a
+    #: per-batch hedge budget.  Off by default (the historical
+    #: sequential-wait fan-out).
+    hedged_reads: bool = False
 
     def __post_init__(self):
         if self.n_shards < 1:
@@ -282,6 +295,10 @@ class ShardedDeepMapping:
             else make_executor(sharding.executor,
                                sharding.effective_workers()))
         self._owns_executor = self.executor is not sharding.executor
+        #: Adaptive hedge-delay controller (None when hedging is off);
+        #: shared across batches so the duration EWMA spans traffic.
+        self.hedger: Optional[HedgeController] = (
+            HedgeController() if sharding.hedged_reads else None)
         #: False for stores opened via ``repro.open(..., writable=False)``:
         #: shard components may be shared with other opens of the same
         #: blobs, so every mutating entry point refuses.
@@ -684,7 +701,7 @@ class ShardedDeepMapping:
 
         shard_errors: Dict[int, BaseException] = {}
         stragglers = False  # a timed-out job may still be running
-        if len(jobs) <= 1 or (deadline is None
+        if len(jobs) <= 1 or (deadline is None and self.hedger is None
                               and int(order.size) <= _SERIAL_DISPATCH_MAX):
             # Tiny dispatches (often: a heavily pruned batch) run their
             # jobs inline — thread hand-off costs more than the work.
@@ -709,7 +726,27 @@ class ShardedDeepMapping:
                     # the per-job check still honors the budget.
                     return submit_job(run_job, job)
 
-            futures = [(job, submit_one(job)) for job in jobs]
+            if self.hedger is not None:
+                # Completion-driven wait with backup attempts for
+                # stragglers; the trailing raise below still applies.
+                stragglers = self._hedged_wait(jobs, submit_one, deadline,
+                                               shard_errors)
+                futures = []
+            elif (deadline is not None
+                  and int(order.size) <= _SERIAL_DISPATCH_MAX):
+                # Small deadline-armed dispatches take a single executor
+                # hand-off for the whole job set: per-shard submission
+                # costs one thread wake-up per shard, which dominates
+                # sub-millisecond jobs and lands squarely on the
+                # healthy-path p50 the resilience layer promises not to
+                # move.  The caller still waits with a timeout, so a
+                # wedged shard is classified a straggler instead of
+                # blocking past the budget.
+                stragglers = self._bundled_wait(jobs, run_job, submit_job,
+                                                deadline, shard_errors)
+                futures = []
+            else:
+                futures = [(job, submit_one(job)) for job in jobs]
             for job, future in futures:
                 ordinal = job[0]
                 try:
@@ -765,6 +802,166 @@ class ShardedDeepMapping:
         found_out[failed] = False
         return PartialResult(found=found_out, values=values_out,
                              failed_mask=failed, shard_errors=shard_errors)
+
+    def _bundled_wait(self, jobs, run_job, submit_job,
+                      deadline: Deadline,
+                      shard_errors: Dict[int, BaseException]) -> bool:
+        """Run a small deadline-armed dispatch as one executor job.
+
+        The jobs run back to back on a single worker — the per-job
+        deadline gate inside ``run_job`` still applies — and per-shard
+        failures are recorded exactly as the per-shard lanes record
+        them.  Attribution on expiry is coarser than per-shard
+        submission: jobs the budget never let start fail with
+        ``DeadlineExceeded`` even if their shard was healthy, matching
+        how the serial inline lane already treats tiny undeadlined
+        dispatches as one unit of work.  Returns True when the bundle
+        was still running at the budget's edge (straggler: the caller
+        must stop sharing the output arrays).
+        """
+        progress = [0]  # jobs[:progress[0]] have fully settled
+
+        def run_all() -> None:
+            for job in jobs:
+                try:
+                    run_job(job)
+                except Exception as exc:
+                    shard_errors[job[0]] = exc
+                progress[0] += 1
+
+        try:
+            future = submit_job(run_all, deadline=deadline)
+        except TypeError:
+            # Custom strategy whose submit_job() lacks the deadline
+            # capability (pre-resilience signature).
+            future = submit_job(run_all)
+        try:
+            future.result(timeout=max(0.0, deadline.remaining()))
+            return False
+        except DeadlineExceeded:
+            # The executor's dequeue gate failed the bundle before it
+            # started; no job ran.
+            pass
+        except FutureTimeoutError:
+            if future.done():
+                # Finished right at the clock's edge; everything is
+                # already recorded.
+                return False
+            future.cancel()
+        exc_by_job = {
+            job[0]: DeadlineExceeded(
+                f"shard {job[0]} lookup exceeded its deadline")
+            for job in jobs[progress[0]:]
+        }
+        for ordinal, exc in exc_by_job.items():
+            shard_errors.setdefault(ordinal, exc)
+        return not future.done()
+
+    def _hedged_wait(self, jobs, submit_one, deadline: Optional[Deadline],
+                     shard_errors: Dict[int, BaseException]) -> bool:
+        """Completion-driven fan-out wait with hedged backup attempts.
+
+        Every job launches immediately; the loop then waits for
+        *whichever* attempt finishes next (no ordinal-order
+        head-of-line blocking).  A job still running past the
+        :class:`~repro.resilience.hedging.HedgeController`'s adaptive
+        delay — this batch's completed peers set the basis, the
+        cross-batch EWMA seeds cold batches — earns ONE backup attempt
+        within the per-batch budget; the first success settles the job
+        and the loser's identical writes are benign (see
+        ``resilience/hedging.py`` for the idempotency argument).  A job
+        fails only when *every* launched attempt has failed; a deadline
+        expiry cancels what it can and records the rest as
+        ``DeadlineExceeded``.  Returns True when any attempt may still
+        be running at exit (the caller copies the output arrays before
+        exposing a partial result).
+        """
+        hedger = self.hedger
+        budget = hedger.batch_budget(len(jobs))
+        state: Dict[int, dict] = {}
+        owner: Dict[Future, int] = {}
+        for job in jobs:
+            future = submit_one(job)
+            state[job[0]] = {"job": job, "settled": False, "errors": [],
+                             "hedged": False, "start": time.monotonic(),
+                             "futures": [future]}
+            owner[future] = job[0]
+        peer_durations: List[float] = []
+        pending = set(owner)
+        unsettled = set(state)
+        while unsettled and pending:
+            if deadline is not None and deadline.expired:
+                break
+            timeout = (None if deadline is None
+                       else max(0.0, deadline.remaining()))
+            hedge_delay = (hedger.hedge_delay_s(peer_durations)
+                           if budget > 0 else None)
+            if hedge_delay is not None:
+                now = time.monotonic()
+                fires = [state[o]["start"] + hedge_delay - now
+                         for o in unsettled if not state[o]["hedged"]]
+                if fires:
+                    soonest = max(0.0, min(fires))
+                    timeout = (soonest if timeout is None
+                               else min(timeout, soonest))
+            done, pending = futures_wait(pending, timeout=timeout,
+                                         return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in done:
+                ordinal = owner.pop(future)
+                entry = state[ordinal]
+                exc = future.exception()
+                if exc is None:
+                    if not entry["settled"]:
+                        entry["settled"] = True
+                        unsettled.discard(ordinal)
+                        duration = now - entry["start"]
+                        peer_durations.append(duration)
+                        hedger.record(duration)
+                        if entry["hedged"] \
+                                and future is entry["futures"][-1]:
+                            self.stats.bump("hedges_won", 1)
+                    # A losing success wrote the same bytes the winner
+                    # did; nothing to record.
+                else:
+                    entry["errors"].append(exc)
+                    if not entry["settled"] \
+                            and len(entry["errors"]) >= len(entry["futures"]):
+                        # Every launched attempt failed: a real shard
+                        # failure, not a straggler.
+                        entry["settled"] = True
+                        unsettled.discard(ordinal)
+                        shard_errors[ordinal] = entry["errors"][0]
+            if not unsettled or (deadline is not None and deadline.expired):
+                break
+            if budget > 0:
+                hedge_delay = hedger.hedge_delay_s(peer_durations)
+                if hedge_delay is not None:
+                    now = time.monotonic()
+                    for ordinal in tuple(unsettled):
+                        if budget <= 0:
+                            break
+                        entry = state[ordinal]
+                        if entry["hedged"] \
+                                or now - entry["start"] < hedge_delay:
+                            continue
+                        backup = submit_one(entry["job"])
+                        entry["hedged"] = True
+                        entry["futures"].append(backup)
+                        owner[backup] = ordinal
+                        pending.add(backup)
+                        budget -= 1
+                        self.stats.bump("hedges_launched", 1)
+        for ordinal in unsettled:
+            # Deadline ran out (or the pool died) with attempts still
+            # outstanding: cancel what has not started, record the rest.
+            for future in state[ordinal]["futures"]:
+                future.cancel()
+            shard_errors[ordinal] = DeadlineExceeded(
+                f"shard {ordinal} lookup exceeded its deadline")
+        return any(not future.done()
+                   for entry in state.values()
+                   for future in entry["futures"])
 
     def _prune(
         self,
@@ -1709,6 +1906,7 @@ class ShardedDeepMapping:
                                     self.sharding.executor),
                 "on_shard_error": self.sharding.on_shard_error,
                 "negative_filter": self.sharding.negative_filter,
+                "hedged_reads": self.sharding.hedged_reads,
             },
             lifecycle=lifecycle,
             store_filter=(self._store_filter.to_json()
@@ -1847,6 +2045,8 @@ class ShardedDeepMapping:
             # nothing prunes until a mutation/rebuild grows filters.
             negative_filter=(negative_filter if negative_filter is not None
                              else saved.get("negative_filter", True)),
+            # Pre-hedging manifests lack the field: hedging stays off.
+            hedged_reads=saved.get("hedged_reads", False),
         )
         stats = stats if stats is not None else StoreStats()
         # Remote transports accumulate range/hydration counters; point

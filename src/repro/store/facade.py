@@ -208,6 +208,7 @@ def serving(
     *,
     policy=None,
     stats=None,
+    shedder=None,
     executor: Union[str, ExecutorStrategy, None] = None,
     max_workers: Optional[int] = None,
     pool_budget_bytes: Optional[int] = None,
@@ -226,7 +227,9 @@ def serving(
     caller-owned.  ``policy`` is an
     :class:`~repro.serve.policy.AdmissionPolicy` (default: 8192 keys /
     2 ms); ``stats`` an optional shared
-    :class:`~repro.serve.stats.ServeStats` sink.
+    :class:`~repro.serve.stats.ServeStats` sink; ``shedder`` an
+    optional :class:`~repro.serve.shedding.LoadShedder` for adaptive
+    overload control (off by default).
     """
     from ..serve.server import Client
     from .protocol import DataStore as _DataStore
@@ -235,10 +238,12 @@ def serving(
         store = open_store(target, max_workers=max_workers,
                            pool_budget_bytes=pool_budget_bytes,
                            executor=executor, writable=False)
-        return Client(store, policy=policy, stats=stats, close_store=True)
+        return Client(store, policy=policy, stats=stats, shedder=shedder,
+                      close_store=True)
     if isinstance(target, _DataStore):
         if executor is not None:
             target.set_executor(executor)
-        return Client(target, policy=policy, stats=stats, close_store=False)
+        return Client(target, policy=policy, stats=stats, shedder=shedder,
+                      close_store=False)
     raise TypeError("serving() takes a store URL/path or an open DataStore; "
                     f"got {type(target).__name__}")

@@ -172,19 +172,40 @@ class BrokenShardProxy:
     def __init__(self, inner, *, exc_factory: Optional[
             Callable[[], BaseException]] = None,
             delay_s: float = 0.0,
-            release: Optional[threading.Event] = None):
+            release: Optional[threading.Event] = None,
+            delay_rate: float = 1.0,
+            slow_first: Optional[int] = None,
+            seed: int = 0):
         self._inner = inner
         self._exc_factory = exc_factory
         self._delay_s = float(delay_s)
         self._release = release
+        #: Transient-slowness modes (for hedging tests, where the point
+        #: is that a RETRY of the same work is fast): ``slow_first=N``
+        #: dawdles only on the first N calls; ``delay_rate`` dawdles a
+        #: seeded random fraction of calls instead of all of them.
+        self._delay_rate = float(delay_rate)
+        self._slow_first = slow_first
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
         self.calls = 0
 
     def _sabotage(self) -> None:
-        self.calls += 1
-        if self._release is not None:
-            self._release.wait(self._delay_s)
-        elif self._delay_s > 0.0:
-            time.sleep(self._delay_s)
+        with self._lock:
+            self.calls += 1
+            call_index = self.calls
+            dawdle = self._delay_s > 0.0 or self._release is not None
+            if dawdle and self._slow_first is not None \
+                    and call_index > self._slow_first:
+                dawdle = False
+            if dawdle and self._delay_rate < 1.0 \
+                    and self._rng.random() >= self._delay_rate:
+                dawdle = False
+        if dawdle:
+            if self._release is not None:
+                self._release.wait(self._delay_s)
+            elif self._delay_s > 0.0:
+                time.sleep(self._delay_s)
         if self._exc_factory is not None:
             raise self._exc_factory()
 
@@ -203,14 +224,20 @@ class BrokenShardProxy:
 def break_shard(store, ordinal: int, *,
                 exc_factory: Optional[Callable[[], BaseException]] = None,
                 delay_s: float = 0.0,
-                release: Optional[threading.Event] = None
-                ) -> Callable[[], None]:
+                release: Optional[threading.Event] = None,
+                delay_rate: float = 1.0,
+                slow_first: Optional[int] = None,
+                seed: int = 0) -> Callable[[], None]:
     """Swap ``store.shards[ordinal]`` for a saboteur; returns a restorer.
 
     Default sabotage is a clean failure (``RuntimeError``); pass
     ``delay_s`` (optionally with a ``release`` event) for a straggler
-    that outlives deadlines instead, or both for a slow failure.  The
-    returned zero-argument callable puts the real shard back::
+    that outlives deadlines instead, or both for a slow failure.
+    ``slow_first`` / ``delay_rate`` make the slowness transient (only
+    the first N calls, or a seeded fraction of calls, dawdle) — the
+    fault shape hedged reads exist for: the backup attempt of the same
+    work is fast.  The returned zero-argument callable puts the real
+    shard back::
 
         restore = break_shard(store, 1)
         try:
@@ -225,7 +252,8 @@ def break_shard(store, ordinal: int, *,
             f"injected failure in shard {ordinal}")
     original = store.shards[ordinal]
     store.shards[ordinal] = BrokenShardProxy(
-        original, exc_factory=exc_factory, delay_s=delay_s, release=release)
+        original, exc_factory=exc_factory, delay_s=delay_s, release=release,
+        delay_rate=delay_rate, slow_first=slow_first, seed=seed)
 
     def restore() -> None:
         store.shards[ordinal] = original

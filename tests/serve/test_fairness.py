@@ -1,0 +1,238 @@
+"""Per-tenant fair admission: quotas, weights, and the DRR drain.
+
+The overload-control contract (``docs/serving.md``): a flooding tenant
+is clipped to its weighted share of the queue (admission quota) and of
+every fused batch (deficit-round-robin drain), while light tenants keep
+admitting and ride the next flush.  All batcher-level — driven with a
+fake clock, no event loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import Deadline
+from repro.serve import (AdmissionPolicy, Batcher, QueueFullError,
+                         TenantQuotaError)
+from repro.serve.batcher import PendingRequest, normalize_request_keys
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def request(n_keys: int, tenant: str = "t", admitted_at: float = 0.0,
+            deadline=None) -> PendingRequest:
+    keys = normalize_request_keys(
+        {"sku": np.arange(n_keys, dtype=np.int64)}, ("sku",))
+    return PendingRequest(keys, tenant, future=None,
+                          admitted_at=admitted_at, deadline=deadline)
+
+
+class TestPolicyKnobs:
+    def test_rejects_bad_fairness_knobs(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_quota_keys=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_weights={"a": 0.0})
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_weights={"a": -2.0})
+
+    def test_weight_defaults_to_one(self):
+        policy = AdmissionPolicy(tenant_weights={"gold": 3.0})
+        assert policy.weight("gold") == 3.0
+        assert policy.weight("anyone-else") == 1.0
+        assert AdmissionPolicy().weight("x") == 1.0
+
+    def test_quota_scales_with_weight(self):
+        policy = AdmissionPolicy(tenant_quota_keys=100,
+                                 tenant_weights={"gold": 2.5})
+        assert policy.quota_keys("gold") == 250.0
+        assert policy.quota_keys("bronze") == 100.0
+        assert AdmissionPolicy().quota_keys("x") is None
+
+
+class TestTenantQuota:
+    def test_quota_rejects_one_tenant_not_its_neighbors(self):
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=10_000,
+                                          tenant_quota_keys=10),
+                          clock=FakeClock())
+        batcher.add(request(8, tenant="flood"))
+        # 8 + 3 > 10: the flooding tenant is clipped...
+        with pytest.raises(TenantQuotaError):
+            batcher.add(request(3, tenant="flood"))
+        # ...but a TenantQuotaError is catchable as QueueFullError, and
+        # other tenants keep admitting.
+        with pytest.raises(QueueFullError):
+            batcher.add(request(3, tenant="flood"))
+        batcher.add(request(3, tenant="light"))
+        assert batcher.tenant_queued_keys("flood") == 8
+        assert batcher.tenant_queued_keys("light") == 3
+
+    def test_quota_frees_as_batches_drain(self):
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=10_000,
+                                          tenant_quota_keys=10),
+                          clock=FakeClock())
+        batcher.add(request(10, tenant="flood"))
+        with pytest.raises(TenantQuotaError):
+            batcher.add(request(1, tenant="flood"))
+        batcher.take()
+        batcher.add(request(10, tenant="flood"))  # quota freed by drain
+
+    def test_weighted_quota(self):
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=10_000,
+                                          tenant_quota_keys=10,
+                                          tenant_weights={"gold": 2.0}),
+                          clock=FakeClock())
+        batcher.add(request(15, tenant="gold"))  # 15 <= 20: fine
+        with pytest.raises(TenantQuotaError):
+            batcher.add(request(15, tenant="bronze"))
+
+
+class TestOverFairShare:
+    def test_single_tenant_is_never_over_share(self):
+        batcher = Batcher(AdmissionPolicy(), clock=FakeClock())
+        batcher.add(request(500, tenant="only"))
+        assert not batcher.over_fair_share("only", 500)
+
+    def test_flooding_tenant_is_over_share_light_is_not(self):
+        batcher = Batcher(AdmissionPolicy(), clock=FakeClock())
+        batcher.add(request(90, tenant="flood"))
+        batcher.add(request(10, tenant="light"))
+        assert batcher.over_fair_share("flood", 10)
+        assert not batcher.over_fair_share("light", 10)
+
+    def test_weights_move_the_share(self):
+        batcher = Batcher(AdmissionPolicy(tenant_weights={"gold": 3.0}),
+                          clock=FakeClock())
+        batcher.add(request(60, tenant="gold"))
+        batcher.add(request(30, tenant="bronze"))
+        # gold holds 60/90 but its fair share is 3/4 of the queue.
+        assert not batcher.over_fair_share("gold")
+        assert batcher.over_fair_share("bronze", 10)
+
+
+class TestDRRDrain:
+    def test_underfull_queue_drains_whole_in_arrival_order(self):
+        # The historical behavior is untouched when everything fits.
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=100),
+                          clock=FakeClock())
+        for i, tenant in enumerate(["a", "b", "a", "c"]):
+            batcher.add(request(5, tenant=tenant))
+        batch = batcher.take()
+        assert [r.tenant for r in batch] == ["a", "b", "a", "c"]
+        assert len(batcher) == 0
+        assert batcher.deadline() is None
+
+    def test_overfull_queue_clips_the_flooding_tenant(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=10,
+                                          max_delay_ms=5.0), clock=clock)
+        for _ in range(8):
+            batcher.add(request(3, tenant="flood", admitted_at=clock.now))
+        batcher.add(request(2, tenant="light", admitted_at=clock.now))
+        batch = batcher.take()
+        # The light tenant's lone request rides the FIRST batch even
+        # though the flooder queued 24 keys ahead of it.
+        assert "light" in {r.tenant for r in batch}
+        taken_keys = sum(r.n_keys for r in batch)
+        assert taken_keys >= 10  # batch filled (may overshoot one req)
+        assert taken_keys <= 10 + 3
+        # Leftovers stay queued, attributed to their tenant, with the
+        # delay clock re-pointed (not idle).
+        assert len(batcher) == 9 - len(batch)
+        assert batcher.tenant_queued_keys("flood") == batcher.pending_keys
+        assert batcher.deadline() is not None
+
+    def test_leftovers_drain_in_fifo_order_across_takes(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=6), clock=clock)
+        for i in range(6):
+            req = request(3, tenant="flood")
+            req.key_cols["sku"] = np.full(3, i, dtype=np.int64)
+            batcher.add(req)
+        seen = []
+        while len(batcher):
+            for r in batcher.take():
+                seen.append(int(r.key_cols["sku"][0]))
+        assert seen == sorted(seen)  # per-tenant FIFO is preserved
+
+    def test_weighted_drr_gives_heavier_tenant_more_of_each_batch(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=12,
+                                          tenant_weights={"gold": 2.0}),
+                          clock=clock)
+        for _ in range(12):
+            batcher.add(request(2, tenant="gold"))
+            batcher.add(request(2, tenant="bronze"))
+        batch = batcher.take()
+        gold = sum(r.n_keys for r in batch if r.tenant == "gold")
+        bronze = sum(r.n_keys for r in batch if r.tenant == "bronze")
+        assert gold > bronze
+
+    def test_oversized_request_still_flushes(self):
+        # One request larger than max_batch_keys must not wedge the DRR
+        # loop (deficit accumulates until it covers the head).
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=8), clock=clock)
+        batcher.add(request(3, tenant="a"))
+        batcher.add(request(64, tenant="b"))
+        drained = []
+        while len(batcher):
+            drained.extend(batcher.take())
+        assert sum(r.n_keys for r in drained) == 67
+
+    def test_leftover_deadline_tracks_oldest_remaining_waiter(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(max_batch_keys=4, max_delay_ms=5.0)
+        batcher = Batcher(policy, clock=clock)
+        batcher.add(request(4, tenant="flood", admitted_at=clock.now))
+        clock.advance(0.002)
+        batcher.add(request(4, tenant="flood", admitted_at=clock.now))
+        batcher.take()  # clips to the first request
+        assert len(batcher) == 1
+        # The leftover was admitted at now-0 (the second add): its
+        # policy point is its own admission + max_delay.
+        assert batcher.deadline() == pytest.approx(clock.now + 0.005)
+
+    def test_leftover_with_urgent_deadline_pulls_the_point_earlier(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(max_batch_keys=4, max_delay_ms=50.0)
+        batcher = Batcher(policy, clock=clock)
+        batcher.add(request(4, tenant="flood", admitted_at=clock.now))
+        urgent = Deadline(0.004, clock=clock)
+        batcher.add(request(4, tenant="flood", admitted_at=clock.now,
+                            deadline=urgent))
+        batcher.take()
+        # Leftover point flushes within the urgent waiter's half-budget,
+        # not the 50 ms policy delay.
+        assert batcher.deadline() <= clock.now + 0.002 + 1e-9
+
+
+class TestEvictExpired:
+    def test_expired_waiters_are_evicted_and_returned(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(max_batch_keys=1000), clock=clock)
+        dead = request(3, tenant="a", deadline=Deadline(0.001, clock=clock))
+        batcher.add(dead)
+        batcher.add(request(2, tenant="b"))
+        clock.advance(0.01)
+        evicted = batcher.evict_expired()
+        assert evicted == [dead]
+        assert len(batcher) == 1
+        assert batcher.pending_keys == 2
+        assert batcher.tenant_queued_keys("a") == 0
+        assert batcher.tenant_queued_keys("b") == 2
+
+    def test_nothing_expired_is_a_noop(self):
+        clock = FakeClock()
+        batcher = Batcher(AdmissionPolicy(), clock=clock)
+        batcher.add(request(3))
+        assert batcher.evict_expired() == []
+        assert len(batcher) == 1

@@ -1,0 +1,197 @@
+"""Adaptive load shedding: the EWMA shedder and its server wiring.
+
+The degradation ladder's middle rungs (``docs/serving.md``): when the
+estimated backlog delay crosses ``target_delay_ms`` the server refuses
+over-fair-share work early with a retry-after hint; past
+``hard_delay_ms`` it refuses everything new.  Cold shedders admit all.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (AdmissionPolicy, Client, LoadShedder,
+                         ServerOverloadedError, SheddingPolicy)
+from repro.testing import ChaosStore
+
+
+class TestSheddingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SheddingPolicy(target_delay_ms=0.0)
+        with pytest.raises(ValueError):
+            SheddingPolicy(target_delay_ms=50.0, hard_delay_ms=20.0)
+        with pytest.raises(ValueError):
+            SheddingPolicy(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            SheddingPolicy(min_observations=0)
+
+
+class TestLoadShedder:
+    def _warm(self, shedder: LoadShedder, keys_per_s: float = 1000.0,
+              batches: int = 3) -> None:
+        for _ in range(batches):
+            shedder.observe_batch(int(keys_per_s), 1.0)
+
+    def test_cold_shedder_admits_everything(self):
+        shedder = LoadShedder(SheddingPolicy(min_observations=3))
+        assert shedder.admit(10_000, 1_000_000, over_share=True) is None
+        assert shedder.estimated_delay_ms(500) is None
+        assert shedder.service_rate_keys_per_s is None
+        assert shedder.level == "healthy"
+        # Two observations are still below min_observations.
+        shedder.observe_batch(100, 0.1)
+        shedder.observe_batch(100, 0.1)
+        assert shedder.admit(10_000, 1_000_000, over_share=True) is None
+
+    def test_delay_estimate_follows_the_rate(self):
+        shedder = LoadShedder(SheddingPolicy(min_observations=1))
+        shedder.observe_batch(1000, 1.0)  # 1000 keys/s
+        assert shedder.estimated_delay_ms(100) == pytest.approx(100.0)
+        assert shedder.service_rate_keys_per_s == pytest.approx(1000.0)
+
+    def test_healthy_backlog_admits(self):
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=20.0,
+                                             hard_delay_ms=100.0))
+        self._warm(shedder)  # 1000 keys/s -> 10 keys = 10 ms
+        assert shedder.admit(5, 5, over_share=True) is None
+        assert shedder.level == "healthy"
+
+    def test_over_target_sheds_only_over_share_tenants(self):
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=20.0,
+                                             hard_delay_ms=100.0))
+        self._warm(shedder)  # 50 backlog keys = 50 ms: between the rungs
+        assert shedder.admit(10, 40, over_share=False) is None
+        retry = shedder.admit(10, 40, over_share=True)
+        assert retry is not None and retry > 0
+        assert shedder.level == "shedding"
+
+    def test_over_hard_sheds_everyone(self):
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=20.0,
+                                             hard_delay_ms=100.0))
+        self._warm(shedder)  # 200 backlog keys = 200 ms: underwater
+        retry = shedder.admit(10, 190, over_share=False)
+        assert retry is not None
+        assert shedder.level == "critical"
+        # The hint estimates the drain back to target: ~180 ms.
+        assert retry == pytest.approx(0.180, rel=0.05)
+
+    def test_retry_after_is_floored(self):
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=20.0,
+                                             hard_delay_ms=100.0,
+                                             min_retry_after_ms=5.0))
+        self._warm(shedder)
+        retry = shedder.admit(1, 21, over_share=True)  # 22 ms: barely over
+        assert retry is not None
+        assert retry >= 0.005
+
+    def test_snapshot_shape(self):
+        shedder = LoadShedder()
+        snap = shedder.snapshot()
+        assert snap["level"] == "healthy"
+        assert snap["service_rate_keys_per_s"] is None
+        assert snap["observations"] == 0
+
+
+class TestServerShedding:
+    def _keys(self, n: int, start: int = 0):
+        return {"sku": (np.arange(n, dtype=np.int64) + start) * 3}
+
+    def test_overloaded_server_sheds_with_retry_after(self, mono_store):
+        # Wedge the store so admitted work piles up as in-flight backlog,
+        # pre-warm the shedder's rate estimate, and watch the next
+        # admission bounce with a typed, hinted error.
+        chaos = ChaosStore(mono_store, hang_s=30.0)
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=5.0,
+                                             hard_delay_ms=10.0,
+                                             min_observations=1))
+        shedder.observe_batch(1000, 1.0)  # 1000 keys/s
+        client = Client(chaos, AdmissionPolicy(max_batch_keys=4,
+                                               max_delay_ms=1.0),
+                        shedder=shedder)
+        try:
+            # 4 keys flush immediately and wedge: 4 in-flight keys plus
+            # the next request's own 20 -> 24 ms estimated delay > hard.
+            stuck = client.submit(self._keys(4), tenant="flood")
+            deadline = threading.Event()
+            for _ in range(200):
+                if client.server.health["inflight_batches"]:
+                    break
+                deadline.wait(0.005)
+            with pytest.raises(ServerOverloadedError) as info:
+                client.lookup(self._keys(20), tenant="flood")
+            assert info.value.retry_after_s is not None
+            assert info.value.retry_after_s > 0
+            snap = client.stats.snapshot()
+            assert snap["shed"] == 1
+            assert snap["tenants"]["flood"]["shed"] == 1
+            assert client.server.health["shed_level"] in ("shedding",
+                                                          "critical")
+            chaos.release()
+            assert stuck.result(timeout=30) is not None
+        finally:
+            chaos.release()
+            client.close()
+
+    def test_light_tenant_admits_while_flooder_sheds(self, mono_store):
+        # Soft tier: delay between target and hard sheds only tenants
+        # over their fair share of the queue.
+        chaos = ChaosStore(mono_store, hang_s=30.0)
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=5.0,
+                                             hard_delay_ms=10_000.0,
+                                             min_observations=1))
+        shedder.observe_batch(1000, 1.0)
+        client = Client(chaos, AdmissionPolicy(max_batch_keys=1000,
+                                               max_delay_ms=500.0),
+                        shedder=shedder)
+        try:
+            # Two tenants in the forming batch: flood holds ~95% of the
+            # queued keys (over its half share), light is far under.
+            flood = client.submit(self._keys(40), tenant="flood")
+            light = client.submit(self._keys(2, start=200), tenant="light")
+            for _ in range(200):
+                if client.server.health["queued_keys"] >= 42:
+                    break
+                threading.Event().wait(0.005)
+            # Estimated delay ~50 ms: over target, under hard — only the
+            # over-share tenant is refused.
+            with pytest.raises(ServerOverloadedError):
+                client.lookup(self._keys(8, start=100), tenant="flood")
+            more_light = client.submit(self._keys(2, start=300),
+                                       tenant="light")
+            snap = client.stats.snapshot()
+            assert snap["tenants"]["flood"]["shed"] == 1
+            assert snap["tenants"].get("light", {}).get("shed", 0) == 0
+            chaos.release()
+            assert flood.result(timeout=30) is not None
+            assert light.result(timeout=30) is not None
+            assert more_light.result(timeout=30) is not None
+        finally:
+            chaos.release()
+            client.close()
+
+    def test_shed_errors_do_not_reach_the_store(self, mono_store):
+        # A shed is an early refusal: the store must see zero calls.
+        calls = []
+        original = mono_store.lookup_async
+
+        class Counting:
+            def __getattr__(self, name):
+                return getattr(mono_store, name)
+
+            def lookup_async(self, keys, **kwargs):
+                calls.append(1)
+                return original(keys, **kwargs)
+
+        shedder = LoadShedder(SheddingPolicy(target_delay_ms=1.0,
+                                             hard_delay_ms=1.0,
+                                             min_observations=1))
+        shedder.observe_batch(10, 10.0)  # 1 key/s: everything is overload
+        client = Client(Counting(), shedder=shedder)
+        try:
+            with pytest.raises(ServerOverloadedError):
+                client.lookup(self._keys(50), tenant="t")
+            assert calls == []
+        finally:
+            client.close()
